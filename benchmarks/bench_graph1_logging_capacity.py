@@ -1,0 +1,41 @@
+"""Experiment G1 — Graph 1: logging capacity of the recovery component.
+
+Paper artefact: "Graph 1 — Logging Speed" (Figure 5, section 3.2): log
+records per second versus log record size, one series per log page size.
+
+Shape requirements (the paper's plot): capacity falls monotonically with
+record size; the page-size series sit close together with larger pages
+slightly ahead; small-record capacity is in the tens of thousands per
+second on the 1-MIPS recovery CPU.
+"""
+
+from repro.analysis import LoggingModel
+
+KB = 1024
+RECORD_SIZES = [8, 12, 16, 24, 32, 48, 64]
+PAGE_SIZES = [2 * KB, 4 * KB, 8 * KB, 16 * KB]
+
+
+def bench_graph1(benchmark, report):
+    series = benchmark(LoggingModel.graph1_series, RECORD_SIZES, PAGE_SIZES)
+    lines = [
+        f"{'record size':>12} "
+        + "".join(f"{p // KB:>9}KB" for p in PAGE_SIZES)
+    ]
+    for i, size in enumerate(RECORD_SIZES):
+        cells = "".join(f"{series[p][i][1]:>11,.0f}" for p in PAGE_SIZES)
+        lines.append(f"{size:>10} B {cells}")
+    report("Graph 1 — logging capacity (records/second)", lines)
+
+    for page_size in PAGE_SIZES:
+        rates = [rate for _, rate in series[page_size]]
+        # monotone decreasing in record size
+        assert rates == sorted(rates, reverse=True)
+    # page-size series sit close together (within 25% across 8x sizes)
+    for i in range(len(RECORD_SIZES)):
+        smallest = series[PAGE_SIZES[0]][i][1]
+        largest = series[PAGE_SIZES[-1]][i][1]
+        assert largest > smallest
+        assert (largest - smallest) / largest < 0.25
+    # absolute scale: >15k records/s for small records at 8KB pages
+    assert series[8 * KB][0][1] > 15_000

@@ -1,0 +1,44 @@
+"""Experiment G2 — Graph 2: logging capacity in transactions per second.
+
+Paper artefact: "Graph 2 — Transaction Rates" (Figure 6, section 3.2):
+the maximum transaction rate the logging component sustains versus log
+record size, one series per log-records-per-transaction value (2, 4, 10,
+20).
+
+Shape requirements: rates scale inversely with records-per-transaction;
+the headline point — four 24-byte records per transaction — sustains
+approximately 4,000 transactions per second ("a figure sufficiently high
+to suggest that the logging component will probably not be the
+bottleneck").
+"""
+
+from repro.analysis import LoggingModel
+
+RECORD_SIZES = [8, 12, 16, 24, 32, 48, 64]
+RECORDS_PER_TXN = [2, 4, 10, 20]
+
+
+def bench_graph2(benchmark, report):
+    series = benchmark(LoggingModel.graph2_series, RECORD_SIZES, RECORDS_PER_TXN)
+    lines = [
+        f"{'record size':>12} " + "".join(f"{n:>8}/txn" for n in RECORDS_PER_TXN)
+    ]
+    for i, size in enumerate(RECORD_SIZES):
+        cells = "".join(f"{series[n][i][1]:>12,.0f}" for n in RECORDS_PER_TXN)
+        lines.append(f"{size:>10} B {cells}")
+    headline = LoggingModel().transactions_per_second(4)
+    lines.append("")
+    lines.append(
+        f"headline: {headline:,.0f} txn/s at 4 x 24B records "
+        f"(paper: 'approximately 4,000 transactions per second')"
+    )
+    report("Graph 2 — transaction rates", lines)
+
+    # series ordering: fewer records per transaction => higher rate
+    for i in range(len(RECORD_SIZES)):
+        column = [series[n][i][1] for n in RECORDS_PER_TXN]
+        assert column == sorted(column, reverse=True)
+    # inverse scaling between the series
+    assert abs(series[20][0][1] * 10 - series[2][0][1]) < 1e-6 * series[2][0][1]
+    # the paper's headline claim
+    assert 3500 <= headline <= 5000

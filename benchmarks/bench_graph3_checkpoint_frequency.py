@@ -1,0 +1,61 @@
+"""Experiment G3 — Graph 3: possible checkpoint frequencies.
+
+Paper artefact: "Graph 3 — Possible Checkpoint Frequencies" (Figure 7,
+section 3.3): checkpoints per second versus logging rate, for different
+update-count thresholds and trigger-mix percentages (age-triggered
+checkpoints assumed worst case: one page of records each).
+
+Shape requirements: frequency is linear in the logging rate; a higher
+share of age triggers raises it sharply; doubling N_update halves the
+update-count component; and the overhead claim — at 1,000 txn/s with 10
+records each and 60% count triggers, checkpoint transactions are ~1.5%
+of the total load — holds.
+"""
+
+from repro.analysis import CheckpointModel
+
+LOGGING_RATES = [1_000.0, 2_000.0, 5_000.0, 10_000.0, 15_000.0]
+SCENARIOS = [
+    (1000, 1.0),
+    (1000, 0.6),
+    (1000, 0.0),
+    (2000, 1.0),
+    (2000, 0.6),
+    (2000, 0.0),
+]
+
+
+def bench_graph3(benchmark, report):
+    series = benchmark(CheckpointModel.graph3_series, LOGGING_RATES, SCENARIOS)
+    lines = [
+        f"{'scenario':>26} "
+        + "".join(f"{int(rate):>9}/s" for rate in LOGGING_RATES)
+    ]
+    for (update_count, fraction), points in series.items():
+        label = f"N={update_count}, {fraction:.0%} by count"
+        cells = "".join(f"{cps:>11.2f}" for _, cps in points)
+        lines.append(f"{label:>26} {cells}")
+    model = CheckpointModel()
+    overhead = model.overhead_fraction(1000, 10, 0.6)
+    lines.append("")
+    lines.append(
+        f"overhead at 10 records/txn, 60% count triggers: {overhead:.2%} "
+        f"(paper: 'only 1.5 percent of the total transaction load')"
+    )
+    report("Graph 3 — checkpoint frequencies", lines)
+
+    for key, points in series.items():
+        rates = [cps for _, cps in points]
+        # linear in the logging rate
+        assert abs(rates[-1] / rates[0] - LOGGING_RATES[-1] / LOGGING_RATES[0]) < 1e-9
+    # more age triggers => more checkpoints, at every rate
+    assert all(
+        series[(1000, 0.0)][i][1] > series[(1000, 0.6)][i][1] > series[(1000, 1.0)][i][1]
+        for i in range(len(LOGGING_RATES))
+    )
+    # doubling N_update halves the pure update-count frequency
+    assert abs(
+        series[(2000, 1.0)][0][1] * 2 - series[(1000, 1.0)][0][1]
+    ) < 1e-9
+    # the paper's ~1.5% overhead claim
+    assert 0.01 <= overhead <= 0.025

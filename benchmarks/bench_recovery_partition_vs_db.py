@@ -1,0 +1,141 @@
+"""Experiment S34 — section 3.4: partition-level vs database-level recovery.
+
+Paper artefact: the section 3.4 comparison ("Discussion of Post-Crash
+Partition Recovery" / "Comparison with Complete Reloading").  The paper
+gives no figure — it argues the shape; we measure it on the simulated
+system *and* with the analytic model.
+
+Shape requirements: time-to-first-transaction under partition-level
+(on-demand) recovery beats full reload by a growing factor as the
+database gets larger relative to the working set; total restore time is
+comparable for both.
+"""
+
+import pytest
+
+from repro import Database, RecoveryMode, SystemConfig
+from repro.analysis import RecoveryModel
+from repro.workloads import MixedWorkload, OperationMix
+
+#: Number of cold relations (300 rows each) beside the fixed hot relation.
+COLD_RELATIONS = [0, 3, 8]
+
+
+def build(cold_relations: int) -> Database:
+    config = SystemConfig(
+        partition_size=8 * 1024,
+        log_page_size=1024,
+        update_count_threshold=500,
+        log_window_pages=2048,
+        log_window_grace_pages=64,
+    )
+    db = Database(config)
+    workload = MixedWorkload(
+        db,
+        initial_rows=200,
+        mix=OperationMix(update=1.0, insert=0, delete=0, lookup=0),
+        ops_per_transaction=5,
+        seed=11,
+    )
+    workload.load()
+    workload.run(40)
+    for k in range(cold_relations):
+        cold = db.create_relation(
+            f"cold_{k}", [("id", "int"), ("pad", "str")], primary_key="id"
+        )
+        with db.transaction() as txn:
+            for i in range(300):
+                cold.insert(txn, {"id": i, "pad": "c" * 80})
+    return db
+
+
+def measure(cold_relations: int) -> dict:
+    # partition-level: restart, then run one lookup on the hot relation
+    db = build(cold_relations)
+    db.crash()
+    start = db.clock.now
+    db.restart(RecoveryMode.ON_DEMAND)
+    with db.transaction(pump=False) as txn:
+        assert db.table("items").lookup(txn, 1) is not None
+    first_txn_partition = db.clock.now - start
+    coordinator = db.restart_coordinator
+    while not coordinator.fully_recovered:
+        coordinator.background_step()
+    total_partition = db.clock.now - start
+
+    # database-level: identical state, eager reload before anything runs
+    db2 = build(cold_relations)
+    db2.crash()
+    start2 = db2.clock.now
+    db2.restart(RecoveryMode.EAGER)
+    with db2.transaction(pump=False) as txn:
+        assert db2.table("items").lookup(txn, 1) is not None
+    first_txn_database = db2.clock.now - start2
+    return {
+        "cold_relations": cold_relations,
+        "partitions": db.memory.resident_partition_count(),
+        "first_partition_ms": first_txn_partition * 1000,
+        "first_database_ms": first_txn_database * 1000,
+        "total_partition_ms": total_partition * 1000,
+        "speedup": first_txn_database / first_txn_partition,
+    }
+
+
+def bench_recovery_comparison(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: [measure(k) for k in COLD_RELATIONS], rounds=1, iterations=1
+    )
+    lines = [
+        f"{'cold':>6} {'parts':>6} {'first-txn part-level':>21} "
+        f"{'first-txn full-reload':>22} {'speedup':>8} {'full restore':>13}"
+    ]
+    for r in results:
+        lines.append(
+            f"{r['cold_relations']:>6} {r['partitions']:>6} "
+            f"{r['first_partition_ms']:>18.1f} ms "
+            f"{r['first_database_ms']:>19.1f} ms "
+            f"{r['speedup']:>7.1f}x "
+            f"{r['total_partition_ms']:>10.1f} ms"
+        )
+    model = RecoveryModel()
+    analytic_speedup = model.time_to_first_transaction(
+        3, 2, 2000, 4000, partition_level=False
+    ) / model.time_to_first_transaction(3, 2, 2000, 4000, partition_level=True)
+    lines.append("")
+    lines.append(
+        f"analytic model (2,000-partition database, 3-partition working "
+        f"set): {analytic_speedup:.0f}x"
+    )
+    report("Section 3.4 — partition-level vs database-level recovery", lines)
+
+    speedups = [r["speedup"] for r in results]
+    # partition-level always reaches the first transaction sooner
+    assert all(s > 1.0 for s in speedups)
+    # and the advantage grows with database size (constant working set)
+    assert speedups == sorted(speedups)
+    # total restore cost stays within ~2x of the full reload
+    largest = results[-1]
+    assert largest["total_partition_ms"] < 4 * largest["first_database_ms"]
+    assert analytic_speedup > 50
+
+
+def bench_analytic_recovery_model(benchmark, report):
+    """The closed-form side of S34: recovery time vs log pages."""
+    model = RecoveryModel()
+
+    def sweep():
+        return [
+            (pages, model.partition_recovery_seconds(pages) * 1000)
+            for pages in (0, 1, 2, 4, 8, 16, 32)
+        ]
+
+    points = benchmark(sweep)
+    lines = [f"{'log pages':>10} {'recovery time':>14}"]
+    lines.extend(f"{pages:>10} {ms:>11.2f} ms" for pages, ms in points)
+    report("Section 3.4 — single-partition recovery time (model)", lines)
+    times = [ms for _, ms in points]
+    assert times == sorted(times)
+    # the zero-page floor is the checkpoint image read
+    assert times[0] == pytest.approx(
+        model.checkpoint_disk.track_read_time(model.partition_size) * 1000
+    )

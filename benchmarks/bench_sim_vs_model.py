@@ -1,0 +1,144 @@
+"""Experiment SIM-G1 — cross-check: simulated recovery CPU vs the model.
+
+The Graph 1/2 numbers come from closed-form formulas; this bench runs the
+*actual* recovery processor (instruction-metered) over a real committed
+log stream and compares its measured instructions-per-record against
+``I_record_sort`` evaluated at the observed average record size.
+
+Shape requirement: measured within ~35% of the model (the model
+amortises page writes smoothly; the simulation pays them in bursts and
+includes checkpoint signalling the model books separately).
+"""
+
+from repro import Database, SystemConfig
+from repro.analysis import LoggingModel
+
+
+def drive(records_target: int = 2000) -> dict:
+    db = Database(SystemConfig())
+    rel = db.create_relation(
+        "stream", [("id", "int"), ("v", "int")], primary_key="id"
+    )
+    with db.transaction() as txn:
+        for i in range(200):
+            rel.insert(txn, {"id": i, "v": 0})
+    # warm the address cache before the measured window
+    addresses = {}
+    with db.transaction() as txn:
+        for key in range(200):
+            addresses[key] = rel.lookup(txn, key).address
+    db.recovery_processor.run_until_drained()
+    db.recovery_cpu.reset()
+    produced_records = db.slb.records_written
+    produced_bytes = db.slb.bytes_written
+    sorted_before = db.recovery_processor.records_sorted
+    i = 0
+    while db.slb.records_written - produced_records < records_target:
+        with db.transaction(pump=False) as txn:
+            for j in range(50):
+                rel.update(txn, addresses[(i * 50 + j) % 200], {"v": i})
+        i += 1
+    db.recovery_processor.run_until_drained()
+    sorted_records = db.recovery_processor.records_sorted - sorted_before
+    measured = db.recovery_cpu.total_instructions / sorted_records
+    avg_record = (db.slb.bytes_written - produced_bytes) / (
+        db.slb.records_written - produced_records
+    )
+    model = LoggingModel(log_record_size=int(round(avg_record)))
+    return {
+        "records": sorted_records,
+        "avg_record_bytes": avg_record,
+        "measured_instr_per_record": measured,
+        "model_instr_per_record": model.instructions_per_record,
+        "measured_records_per_second": 1_000_000 / measured,
+        "model_records_per_second": model.records_per_second,
+    }
+
+
+
+def drive_with_payload(payload_bytes: int, records_target: int = 1200) -> dict:
+    """Like :func:`drive`, but updates a bytes field with a controlled
+    payload so the average log record size sweeps upward."""
+    db = Database(SystemConfig())
+    rel = db.create_relation(
+        "stream", [("id", "int"), ("blob", "bytes")], primary_key="id"
+    )
+    addresses = {}
+    rows = 50  # modest row count so the largest payloads fit the heap
+    with db.transaction() as txn:
+        for i in range(rows):
+            addresses[i] = rel.insert(txn, {"id": i, "blob": b"0"})
+    db.recovery_processor.run_until_drained()
+    db.recovery_cpu.reset()
+    produced_records = db.slb.records_written
+    produced_bytes = db.slb.bytes_written
+    sorted_before = db.recovery_processor.records_sorted
+    i = 0
+    while db.slb.records_written - produced_records < records_target:
+        with db.transaction(pump=False) as txn:
+            for j in range(25):
+                rel.update(
+                    txn,
+                    addresses[(i * 25 + j) % rows],
+                    {"blob": bytes([j % 256]) * payload_bytes},
+                )
+        i += 1
+    db.recovery_processor.run_until_drained()
+    sorted_records = db.recovery_processor.records_sorted - sorted_before
+    measured = db.recovery_cpu.total_instructions / sorted_records
+    avg_record = (db.slb.bytes_written - produced_bytes) / (
+        db.slb.records_written - produced_records
+    )
+    model = LoggingModel(log_record_size=int(round(avg_record)))
+    return {
+        "payload": payload_bytes,
+        "avg_record_bytes": avg_record,
+        "measured_instr_per_record": measured,
+        "model_instr_per_record": model.instructions_per_record,
+        "measured_records_per_second": 1_000_000 / measured,
+    }
+
+
+def bench_sim_graph1_sweep(benchmark, report):
+    """Cross-validate Graph 1's *shape* on the instruction-metered
+    simulator: capacity falls with record size, tracking the model."""
+    payloads = [8, 48, 160]
+    results = benchmark.pedantic(
+        lambda: [drive_with_payload(p) for p in payloads], rounds=1, iterations=1
+    )
+    lines = [
+        f"{'avg record':>11} {'measured instr/rec':>19} {'model instr/rec':>16} "
+        f"{'measured rec/s':>15}"
+    ]
+    for r in results:
+        lines.append(
+            f"{r['avg_record_bytes']:>9.1f} B "
+            f"{r['measured_instr_per_record']:>19.1f} "
+            f"{r['model_instr_per_record']:>16.1f} "
+            f"{r['measured_records_per_second']:>15,.0f}"
+        )
+    report("SIM-G1 sweep — measured capacity vs record size", lines)
+    rates = [r["measured_records_per_second"] for r in results]
+    assert rates == sorted(rates, reverse=True)  # Graph 1 shape
+    for r in results:
+        ratio = r["measured_instr_per_record"] / r["model_instr_per_record"]
+        assert 0.8 <= ratio <= 1.2, f"payload {r['payload']}: ratio {ratio:.2f}"
+
+
+def bench_sim_vs_model(benchmark, report):
+    result = benchmark.pedantic(drive, rounds=1, iterations=1)
+    lines = [
+        f"records sorted:               {result['records']:,}",
+        f"average record size:          {result['avg_record_bytes']:.1f} B",
+        f"measured instructions/record: {result['measured_instr_per_record']:.1f}",
+        f"model    instructions/record: {result['model_instr_per_record']:.1f}",
+        f"measured capacity:            "
+        f"{result['measured_records_per_second']:,.0f} records/s",
+        f"model    capacity:            "
+        f"{result['model_records_per_second']:,.0f} records/s",
+    ]
+    report("SIM-G1 — simulated recovery CPU vs analytic model", lines)
+    ratio = (
+        result["measured_instr_per_record"] / result["model_instr_per_record"]
+    )
+    assert 0.85 <= ratio <= 1.15, f"simulation diverges from model: {ratio:.2f}"

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the table or figure series it regenerates (the
+paper-facing artefact) and uses pytest-benchmark to time the computation
+that produces it.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the regenerated tables; without it only the timing table
+appears.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def report():
+    """Print a titled block that survives pytest's capture when -s is on."""
+
+    def _report(title: str, lines: list[str]) -> None:
+        print()
+        print("=" * 74)
+        print(title)
+        print("=" * 74)
+        for line in lines:
+            print(line)
+
+    return _report

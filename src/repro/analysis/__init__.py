@@ -1,0 +1,27 @@
+"""The paper's Section 3 performance analysis, as executable models.
+
+* :mod:`repro.analysis.params` — Table 1/2: variable conventions and
+  parameter values, including the derived "(Calculated)" rows.
+* :mod:`repro.analysis.logging_model` — section 3.2: logging capacity
+  (Graphs 1 and 2).
+* :mod:`repro.analysis.checkpoint_model` — section 3.3: checkpoint
+  frequency and overhead (Graph 3).
+* :mod:`repro.analysis.recovery_model` — section 3.4: partition-level vs
+  database-level post-crash recovery.
+"""
+
+from repro.analysis.logging_model import LoggingModel
+from repro.analysis.checkpoint_model import CheckpointModel
+from repro.analysis.recovery_model import RecoveryModel
+from repro.analysis.params import table1_rows, table2_rows
+from repro.analysis.sizing import SizingModel, WorkloadProfile
+
+__all__ = [
+    "CheckpointModel",
+    "LoggingModel",
+    "RecoveryModel",
+    "SizingModel",
+    "WorkloadProfile",
+    "table1_rows",
+    "table2_rows",
+]

@@ -1,0 +1,109 @@
+"""Section 3.3 — checkpoint frequency and overhead.
+
+With an infinite log window every checkpoint is triggered by update
+count, amortised over ``N_update`` updates (the best case)::
+
+    R_checkpoint = R_records_logged / N_update
+
+With a finite window some partitions are checkpointed *because of age*
+before accumulating ``N_update`` records.  The paper's comparison point
+assumes the worst for those: an aged partition has only a single page of
+log records, i.e. ``S_log_page / S_log_record`` updates::
+
+    R_checkpoint = R_records_logged * S_log_record / S_log_page
+
+Mixing the two trigger populations with fractions ``f_count + f_age = 1``::
+
+    R_checkpoint = R_records * (f_count / N_update
+                                + f_age * S_log_record / S_log_page)
+
+The overhead measure of section 3.3 treats a checkpoint transaction as
+comparable to a debit/credit transaction, so the checkpoint share of the
+total transaction load is ``R_checkpoint / (R_txn + R_checkpoint)`` —
+about 1.5 % at 60 % update-count triggers and 10 records per transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import AnalysisParameters
+
+
+@dataclass(frozen=True)
+class CheckpointModel:
+    """Closed-form checkpoint-frequency model (defaults = Table 2)."""
+
+    params: AnalysisParameters = field(default_factory=AnalysisParameters)
+    log_record_size: int = 24
+    log_page_size: int = 8 * 1024
+    update_count: int = 1000
+
+    def best_case_rate(self, records_per_second: float) -> float:
+        """All checkpoints triggered by update count (infinite window)."""
+        return records_per_second / self.update_count
+
+    def worst_case_rate(self, records_per_second: float) -> float:
+        """All checkpoints triggered by age with one page of records."""
+        return records_per_second * self.log_record_size / self.log_page_size
+
+    def rate(
+        self,
+        records_per_second: float,
+        update_count_fraction: float,
+    ) -> float:
+        """Checkpoints per second for a trigger mix.
+
+        ``update_count_fraction`` is the share of checkpoints triggered by
+        update count; the rest are age-triggered at the worst case.
+        """
+        if not 0.0 <= update_count_fraction <= 1.0:
+            raise ValueError("update_count_fraction must be in [0, 1]")
+        age_fraction = 1.0 - update_count_fraction
+        return records_per_second * (
+            update_count_fraction / self.update_count
+            + age_fraction * self.log_record_size / self.log_page_size
+        )
+
+    def overhead_fraction(
+        self,
+        transactions_per_second: float,
+        records_per_transaction: float,
+        update_count_fraction: float,
+    ) -> float:
+        """Checkpoint transactions as a fraction of all transactions."""
+        if transactions_per_second <= 0:
+            raise ValueError("transactions_per_second must be positive")
+        records_per_second = transactions_per_second * records_per_transaction
+        checkpoints = self.rate(records_per_second, update_count_fraction)
+        return checkpoints / (transactions_per_second + checkpoints)
+
+    def minimum_log_window_pages(self, active_partitions: int) -> float:
+        """Section 3.3: 'there should be at least enough pages in the log
+        window to hold N_update log records for every active partition'."""
+        pages_per_partition = (
+            self.update_count * self.log_record_size / self.log_page_size
+        )
+        return active_partitions * pages_per_partition
+
+    @staticmethod
+    def graph3_series(
+        logging_rates: list[float],
+        scenarios: list[tuple[int, float]],
+        params: AnalysisParameters | None = None,
+        log_record_size: int = 24,
+        log_page_size: int = 8 * 1024,
+    ) -> dict[tuple[int, float], list[tuple[float, float]]]:
+        """Graph 3: checkpoints/second vs logging rate.
+
+        ``scenarios`` are ``(update_count, update_count_fraction)`` pairs;
+        one series per scenario.
+        """
+        params = params if params is not None else AnalysisParameters()
+        series: dict[tuple[int, float], list[tuple[float, float]]] = {}
+        for update_count, fraction in scenarios:
+            model = CheckpointModel(params, log_record_size, log_page_size, update_count)
+            series[(update_count, fraction)] = [
+                (rate, model.rate(rate, fraction)) for rate in logging_rates
+            ]
+        return series

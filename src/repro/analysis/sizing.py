@@ -1,0 +1,121 @@
+"""Sizing the stable memories and the log window.
+
+Section 2.3.3 gives the Stable Log Tail budget directly: "The amount of
+stable reliable memory required for the Stable Log Tail depends on the
+total number of partitions in the database and the number of active
+partitions.  Each partition uses a small amount — on the order of 50
+bytes, and each active partition requires a log page buffer — on the
+order of 2 to 16 kilobytes."
+
+Section 3.3 gives the log window floor: "there should be at least enough
+pages in the log window to hold N_update log records for every active
+partition."
+
+The Stable Log Buffer must hold the REDO chains of every in-flight
+transaction plus the committed backlog the recovery CPU has not yet
+sorted; we size it from the arrival rate and the drain rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.logging_model import LoggingModel
+from repro.common.config import SystemConfig
+from repro.wal.slt import INFO_BLOCK_BYTES
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """The knobs a capacity planner knows about the workload."""
+
+    total_partitions: int
+    active_partitions: int
+    transactions_per_second: float
+    records_per_transaction: float = 4.0
+    log_record_size: int = 24
+    #: Transactions concurrently holding open (uncommitted) REDO chains.
+    concurrent_transactions: int = 10
+
+    @property
+    def records_per_second(self) -> float:
+        return self.transactions_per_second * self.records_per_transaction
+
+
+@dataclass(frozen=True)
+class SizingModel:
+    """Derives stable-memory and log-window requirements for a workload."""
+
+    config: SystemConfig = field(default_factory=SystemConfig)
+
+    # -- Stable Log Tail -----------------------------------------------------------
+
+    def slt_bytes(self, profile: WorkloadProfile) -> int:
+        """Section 2.3.3's estimate: permanent info blocks for every
+        partition plus a page buffer per active partition."""
+        return (
+            profile.total_partitions * INFO_BLOCK_BYTES
+            + profile.active_partitions * self.config.log_page_size
+        )
+
+    # -- Stable Log Buffer ----------------------------------------------------------
+
+    def slb_bytes(self, profile: WorkloadProfile, *, headroom: float = 2.0) -> int:
+        """In-flight chains plus one drain interval of committed backlog.
+
+        The recovery CPU drains at ``R_records_logged``; the main CPU
+        produces at the workload rate.  With production below capacity the
+        backlog is bounded by one scheduling interval's worth of records;
+        ``headroom`` doubles it by default.
+        """
+        per_txn_bytes = (
+            profile.records_per_transaction * profile.log_record_size
+        )
+        in_flight = profile.concurrent_transactions * max(
+            per_txn_bytes, self.config.log_block_size
+        )
+        model = LoggingModel(
+            self.config.analysis,
+            profile.log_record_size,
+            self.config.log_page_size,
+            self.config.update_count_threshold,
+        )
+        drain_rate = model.records_per_second
+        backlog_records = min(profile.records_per_second, drain_rate)
+        backlog = backlog_records * profile.log_record_size
+        return int(headroom * (in_flight + backlog))
+
+    def slb_saturated(self, profile: WorkloadProfile) -> bool:
+        """True when the workload produces records faster than the
+        recovery CPU can sort them — the system-level bottleneck check of
+        section 3.2."""
+        model = LoggingModel(
+            self.config.analysis,
+            profile.log_record_size,
+            self.config.log_page_size,
+            self.config.update_count_threshold,
+        )
+        return profile.records_per_second > model.records_per_second
+
+    # -- log window --------------------------------------------------------------------
+
+    def minimum_log_window_pages(self, profile: WorkloadProfile) -> int:
+        """Section 3.3's floor: N_update records of window per active
+        partition, so update-count checkpoints can win over age."""
+        pages_per_partition = (
+            self.config.update_count_threshold
+            * profile.log_record_size
+            / self.config.log_page_size
+        )
+        return int(profile.active_partitions * pages_per_partition) + 1
+
+    # -- the full recommendation ------------------------------------------------------------
+
+    def recommend(self, profile: WorkloadProfile) -> dict:
+        """One-call capacity plan, with the saturation warning."""
+        return {
+            "slt_bytes": self.slt_bytes(profile),
+            "slb_bytes": self.slb_bytes(profile),
+            "log_window_pages": self.minimum_log_window_pages(profile),
+            "recovery_cpu_saturated": self.slb_saturated(profile),
+        }

@@ -1,0 +1,19 @@
+"""Baseline recovery designs the paper compares against (section 1).
+
+* :mod:`repro.baselines.full_reload` — Hagmann-style whole-database
+  checkpointing and full-reload restart ("treat the database as a single
+  object"): database-level recovery is partition-level recovery with one
+  very large partition (section 3.4.1).
+* :mod:`repro.baselines.disk_wal` — conventional disk-resident commit
+  protocols: synchronous write-ahead logging and IMS FASTPATH-style group
+  commit, against which the stable-RAM instant commit is measured.
+"""
+
+from repro.baselines.full_reload import WholeDatabaseCheckpointer, full_reload_restart
+from repro.baselines.disk_wal import CommitProtocolModel
+
+__all__ = [
+    "CommitProtocolModel",
+    "WholeDatabaseCheckpointer",
+    "full_reload_restart",
+]

@@ -1,0 +1,19 @@
+"""Per-partition checkpointing (paper section 2.4).
+
+Checkpoints are triggered by the recovery CPU (update count or age) and
+*executed* by the main CPU between transactions.  The two processors talk
+through a request queue in the Stable Log Buffer whose entries move
+through request → in-progress → finished.
+"""
+
+from repro.checkpoint.protocol import CheckpointQueue, CheckpointRequest, RequestState
+from repro.checkpoint.disk_queue import CheckpointDiskQueue
+from repro.checkpoint.manager import CheckpointManager
+
+__all__ = [
+    "CheckpointDiskQueue",
+    "CheckpointManager",
+    "CheckpointQueue",
+    "CheckpointRequest",
+    "RequestState",
+]

@@ -1,0 +1,77 @@
+"""The checkpoint disks as a pseudo-circular queue of partition slots.
+
+Section 2.4: checkpoint images are written to the first available location
+at the head of the queue rather than to per-partition home slots (which
+would cost a seek to a fixed location every time).  Rarely-checkpointed
+partitions keep their old slot and are skipped as the head passes by —
+hence *pseudo*-circular.  New images never overwrite old ones; the old
+slot is freed only after the checkpoint transaction commits.
+
+The allocation map is volatile here (it is rebuilt from the catalogs at
+restart, where the paper also keeps it); concurrent checkpoint
+transactions serialise on a write latch exactly as the paper requires.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CheckpointError
+from repro.concurrency.latch import Latch
+from repro.sim.disk import SimulatedDisk
+
+
+class CheckpointDiskQueue:
+    """Slot allocator plus image I/O on the checkpoint disk."""
+
+    def __init__(self, disk: SimulatedDisk, slots: int):
+        if slots <= 0:
+            raise CheckpointError("checkpoint disk needs at least one slot")
+        self.disk = disk
+        self.slots = slots
+        self.map_latch = Latch("checkpoint-disk-map")
+        self._occupied: set[int] = set()
+        self._head = 0
+
+    # -- allocation --------------------------------------------------------------
+
+    def allocate(self, owner: int) -> int:
+        """Claim the next free slot at the head of the queue.
+
+        ``owner`` identifies the checkpoint transaction for the map latch.
+        """
+        with self.map_latch.held_by(owner):
+            for _ in range(self.slots):
+                slot = self._head
+                self._head = (self._head + 1) % self.slots
+                if slot not in self._occupied:
+                    self._occupied.add(slot)
+                    return slot
+        raise CheckpointError("checkpoint disk is full: no free slots")
+
+    def free(self, slot: int) -> None:
+        self._occupied.discard(slot)
+        self.disk.free(slot)
+
+    def rebuild_map(self, occupied: set[int]) -> None:
+        """Post-crash: reconstruct the allocation map from the catalogs."""
+        self._occupied = set(occupied)
+        self._head = 0
+
+    # -- image I/O -----------------------------------------------------------------
+
+    def write_image(self, slot: int, image: bytes) -> None:
+        """Partitions are written in whole tracks (double transfer rate)."""
+        if slot not in self._occupied:
+            raise CheckpointError(f"slot {slot} was not allocated")
+        self.disk.write_track(slot, image)
+
+    def read_image(self, slot: int) -> bytes:
+        return self.disk.read_track(slot)
+
+    # -- inspection -------------------------------------------------------------------
+
+    @property
+    def occupied_count(self) -> int:
+        return len(self._occupied)
+
+    def is_occupied(self, slot: int) -> bool:
+        return slot in self._occupied

@@ -1,0 +1,143 @@
+"""Checkpoint transactions on the main CPU.
+
+Section 2.4's seven-step procedure, executed between regular transactions
+when the transaction manager polls the request queue:
+
+1. (recovery CPU) request entered in the Stable Log Buffer.
+2. main CPU finds the request, starts a checkpoint transaction, flips the
+   flag to in-progress.
+3. the checkpoint transaction read-locks the partition's *relation* — one
+   relation read lock covers its tuple and index partitions, so only
+   committed, transaction-consistent data is copied.
+4. the partition is copied to a side buffer at memory speed and the lock
+   is released immediately (minimal interference).
+5. the disk-map and catalog updates are logged *before* the image write.
+6. the image goes to a fresh slot (never overwriting the old image) and
+   the checkpoint transaction commits, which atomically installs the new
+   location and flips the flag to finished.
+7. (recovery CPU) sees finished, flushes the partition's leftover log
+   records to the log disk, and resets its bin.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import CatalogError, NotResidentError, TransactionAborted
+from repro.concurrency.locks import LockMode
+from repro.checkpoint.protocol import CheckpointRequest, RequestState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.database import Database
+
+#: Instructions charged to the main CPU per byte of partition copy.
+COPY_INSTRUCTIONS_PER_BYTE = 0.125
+
+
+class CheckpointManager:
+    """Executes pending checkpoint requests (main-CPU side)."""
+
+    def __init__(self, db: "Database"):
+        self.db = db
+        self.checkpoints_taken = 0
+        self.checkpoints_deferred = 0
+
+    def process_pending(self, limit: int | None = None) -> int:
+        """Run checkpoint transactions for queued requests.
+
+        Returns the number completed.  Requests whose relation lock is
+        unavailable or whose partition is not yet memory-resident are left
+        queued for a later pass.
+        """
+        done = 0
+        for request in self.db.checkpoint_queue.pending():
+            if limit is not None and done >= limit:
+                break
+            if self._run_one(request):
+                done += 1
+        return done
+
+    def _run_one(self, request: CheckpointRequest) -> bool:
+        db = self.db
+        request.state = RequestState.IN_PROGRESS
+        txn = db.transactions.begin(system=True)
+        try:
+            lock_segment = self._lock_segment_for(request)
+            txn.lock_relation(lock_segment, LockMode.SHARED)
+            partition = db.memory.partition(request.partition)
+            # Step 4: copy at memory speed, then release the lock at once.
+            image = partition.to_bytes()
+            db.main_cpu.charge(
+                COPY_INSTRUCTIONS_PER_BYTE * len(image), "checkpoint-copy"
+            )
+            db.locks.release(txn.txn_id, ("rel", lock_segment))
+            # Step 5: log the catalog / disk-map updates before the write.
+            slot = db.checkpoint_disk.allocate(txn.txn_id)
+            request.previous_slot = self._install_slot(request, slot, txn)
+            # Step 6: write the image and commit.
+            db.checkpoint_disk.write_image(slot, image)
+            txn.commit()
+        except (TransactionAborted, NotResidentError):
+            # lock conflict or partition awaiting recovery: retry later
+            if txn.state.value == "active":
+                txn.abort()
+            request.state = RequestState.REQUEST
+            request.previous_slot = None
+            self.checkpoints_deferred += 1
+            return False
+        request.state = RequestState.FINISHED
+        self.checkpoints_taken += 1
+        return True
+
+    def _lock_segment_for(self, request: CheckpointRequest) -> int:
+        """The segment whose relation-level lock covers this partition."""
+        segment_id = request.partition.segment
+        if segment_id == self.db.catalog.segment.segment_id:
+            return segment_id  # catalog partitions lock the catalog itself
+        relation = self.db.catalog.relation_of_segment(segment_id)
+        return relation.segment_id
+
+    def _install_slot(
+        self, request: CheckpointRequest, slot: int, txn
+    ) -> int | None:
+        """Record the new checkpoint location in the catalogs (logged).
+
+        Returns the superseded slot (freed after the acknowledgement).
+        Catalog partitions keep their locations in the well-known stable
+        areas instead, duplicated in the SLB and the SLT (section 2.4
+        step 5 / section 2.5).
+        """
+        db = self.db
+        segment_id = request.partition.segment
+        number = request.partition.partition
+        if segment_id == db.catalog.segment.segment_id:
+            previous = db.catalog.own_partition_slots.get(number)
+            db.catalog.own_partition_slots[number] = slot
+            db.publish_catalog_locations()
+            return previous
+        descriptor = db.catalog.descriptor_for_segment(segment_id)
+        info = descriptor.partitions.get(number)
+        if info is None:
+            raise CatalogError(
+                f"{request.partition} is not catalogued under {descriptor.name!r}"
+            )
+        previous = info.checkpoint_slot
+        info.checkpoint_slot = slot
+        db.catalog.update(descriptor, txn)
+        return previous
+
+    # -- restart support -------------------------------------------------------------
+
+    def occupied_slots(self) -> set[int]:
+        """Every slot referenced by the catalogs (for map rebuild)."""
+        occupied: set[int] = set()
+        for descriptor in list(self.db.catalog.relations()) + list(
+            self.db.catalog.indexes()
+        ):
+            for info in descriptor.partitions.values():
+                if info.checkpoint_slot is not None:
+                    occupied.add(info.checkpoint_slot)
+        for slot in self.db.catalog.own_partition_slots.values():
+            if slot is not None:
+                occupied.add(slot)
+        return occupied

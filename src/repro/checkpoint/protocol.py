@@ -1,0 +1,81 @@
+"""The checkpoint request queue: the processors' communication buffer.
+
+Section 2.4: the recovery manager enters a partition address plus a status
+flag in the Stable Log Buffer; the flag starts in the *request* state,
+moves to *in-progress* while the checkpoint transaction runs, and reaches
+*finished* after that transaction commits.  A finished entry tells the
+recovery CPU to flush the partition's remaining log information and reset
+its bin.
+
+The queue lives in the SLB's well-known area, so it survives crashes.
+After a crash, in-progress entries revert to request (their checkpoint
+transaction died uncommitted) and finished entries are completed by the
+recovery CPU as usual.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.types import PartitionAddress
+from repro.wal.slb import StableLogBuffer
+
+_QUEUE_KEY = "checkpoint-requests"
+
+
+class RequestState(enum.Enum):
+    REQUEST = "request"
+    IN_PROGRESS = "in-progress"
+    FINISHED = "finished"
+
+
+@dataclass
+class CheckpointRequest:
+    partition: PartitionAddress
+    bin_index: int
+    reason: str
+    state: RequestState = RequestState.REQUEST
+    #: Slot holding the superseded image, freed once the checkpoint is
+    #: fully acknowledged (new copies never overwrite old ones).
+    previous_slot: int | None = None
+
+
+class CheckpointQueue:
+    """FIFO of checkpoint requests stored in stable memory."""
+
+    def __init__(self, slb: StableLogBuffer):
+        self._slb = slb
+        if slb.get_well_known(_QUEUE_KEY) is None:
+            slb.put_well_known(_QUEUE_KEY, [])
+
+    def _entries(self) -> list[CheckpointRequest]:
+        return self._slb.get_well_known(_QUEUE_KEY)  # type: ignore[return-value]
+
+    def submit(self, partition: PartitionAddress, bin_index: int, reason: str) -> None:
+        """Recovery CPU: enter a checkpoint request (deduplicated)."""
+        if any(entry.partition == partition for entry in self._entries()):
+            return
+        self._entries().append(CheckpointRequest(partition, bin_index, reason))
+
+    def pending(self) -> list[CheckpointRequest]:
+        return [e for e in self._entries() if e.state is RequestState.REQUEST]
+
+    def finished(self) -> list[CheckpointRequest]:
+        return [e for e in self._entries() if e.state is RequestState.FINISHED]
+
+    def remove(self, request: CheckpointRequest) -> None:
+        self._entries().remove(request)
+
+    def revert_in_progress(self) -> int:
+        """Post-crash: in-progress checkpoints died with the main CPU."""
+        reverted = 0
+        for entry in self._entries():
+            if entry.state is RequestState.IN_PROGRESS:
+                entry.state = RequestState.REQUEST
+                entry.previous_slot = None
+                reverted += 1
+        return reverted
+
+    def __len__(self) -> int:
+        return len(self._entries())

@@ -1,0 +1,67 @@
+"""Core vocabulary types: addresses, LSNs, transaction ids.
+
+The paper's memory organisation (section 2) names entities by a triple
+(Segment Number, Partition Number, Partition Offset).  We model those three
+levels with :class:`PartitionAddress` and :class:`EntityAddress`.
+
+Log sequence numbers are plain integers; ``NULL_LSN`` (``-1``) denotes
+"no log page yet".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import NewType
+
+TransactionId = NewType("TransactionId", int)
+
+#: Sentinel LSN meaning "no page has been written".
+NULL_LSN = -1
+
+
+class SegmentKind(enum.Enum):
+    """What a logical segment stores.
+
+    Every database object gets its own segment (paper section 2): relations,
+    indexes, and the system catalogs themselves.
+    """
+
+    RELATION = "relation"
+    INDEX = "index"
+    CATALOG = "catalog"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class PartitionAddress:
+    """Stable name of one partition: (segment number, partition number).
+
+    The address is attached to every log page written for the partition and
+    is checked during recovery (paper section 2.3.3, "Partition Address").
+    """
+
+    segment: int
+    partition: int
+
+    def __str__(self) -> str:
+        return f"S{self.segment}.P{self.partition}"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class EntityAddress:
+    """Memory address of a database entity: a tuple or an index component.
+
+    Entities never cross partition boundaries, so (segment, partition,
+    offset) uniquely names one entity for the life of the partition.
+    """
+
+    segment: int
+    partition: int
+    offset: int
+
+    @property
+    def partition_address(self) -> PartitionAddress:
+        return PartitionAddress(self.segment, self.partition)
+
+    def __str__(self) -> str:
+        return f"S{self.segment}.P{self.partition}+{self.offset}"

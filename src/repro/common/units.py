@@ -1,0 +1,37 @@
+"""Byte-size and time units used throughout the library."""
+
+from __future__ import annotations
+
+KILOBYTE = 1024
+MEGABYTE = 1024 * KILOBYTE
+GIGABYTE = 1024 * MEGABYTE
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+def format_bytes(n: int) -> str:
+    """Render a byte count in the largest unit that keeps it readable.
+
+    >>> format_bytes(48 * 1024)
+    '48.0 KB'
+    """
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(value) < 1024.0 or unit == "GB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with a sensible unit.
+
+    >>> format_seconds(0.0032)
+    '3.200 ms'
+    """
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= MILLISECOND:
+        return f"{seconds / MILLISECOND:.3f} ms"
+    return f"{seconds / MICROSECOND:.3f} us"

@@ -1,0 +1,17 @@
+"""Concurrency control substrate.
+
+The paper's MM-DBMS locks index components and relation tuples with
+two-phase locks held until transaction commit (section 2.3.2), uses a
+single relation read lock to get a transaction-consistent checkpoint image
+(section 2.4, step 3), and protects short structures with latches.
+
+The simulation is cooperative and single-threaded, so "waiting" means a
+request parks on the lock's queue until the holder releases it; deadlocks
+are detected immediately on a waits-for cycle and surface as
+:class:`~repro.common.errors.DeadlockError` on the requester.
+"""
+
+from repro.concurrency.locks import LockManager, LockMode
+from repro.concurrency.latch import Latch
+
+__all__ = ["Latch", "LockManager", "LockMode"]

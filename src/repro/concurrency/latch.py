@@ -1,0 +1,79 @@
+"""Short-duration latches.
+
+Latches protect physical structures (the SLB block free list, the disk
+allocation map) for the duration of one operation — they are not
+two-phase.  Section 2.3.1 notes critical sections are needed *only* for
+block allocation, and section 2.4 requires a write latch on the disk
+allocation map because several checkpoint transactions may run at once.
+
+In the cooperative simulation a latch can never actually block (the holder
+always releases before yielding), so acquisition failure indicates a bug —
+it raises immediately rather than waiting.  Section 2.5's rule that a
+transaction must not hold a latch across a recovery wait is enforced by
+:meth:`Latch.assert_unheld`.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ReproError
+
+
+class LatchViolationError(ReproError):
+    """A latch protocol rule was broken (double acquire, foreign release)."""
+
+
+class Latch:
+    """A non-reentrant mutual-exclusion latch with owner tracking."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._owner: int | None = None
+        self.acquisitions = 0
+
+    def acquire(self, owner: int) -> None:
+        if self._owner is not None:
+            raise LatchViolationError(
+                f"latch {self.name!r} already held by {self._owner} "
+                f"(requested by {owner})"
+            )
+        self._owner = owner
+        self.acquisitions += 1
+
+    def release(self, owner: int) -> None:
+        if self._owner != owner:
+            raise LatchViolationError(
+                f"latch {self.name!r} released by {owner} but held by {self._owner}"
+            )
+        self._owner = None
+
+    @property
+    def held(self) -> bool:
+        return self._owner is not None
+
+    @property
+    def owner(self) -> int | None:
+        return self._owner
+
+    def assert_unheld(self, context: str) -> None:
+        """Enforce the no-latch-across-recovery-wait rule of section 2.5."""
+        if self._owner is not None:
+            raise LatchViolationError(
+                f"latch {self.name!r} held by {self._owner} across {context}; "
+                f"the holder must release it or abort (paper section 2.5)"
+            )
+
+    class _Guard:
+        def __init__(self, latch: "Latch", owner: int):
+            self._latch = latch
+            self._owner = owner
+
+        def __enter__(self) -> "Latch":
+            self._latch.acquire(self._owner)
+            return self._latch
+
+        def __exit__(self, *exc_info: object) -> None:
+            self._latch.release(self._owner)
+
+    def held_by(self, owner: int) -> "Latch._Guard":
+        """Context manager: ``with latch.held_by(txn_id): ...``."""
+        return Latch._Guard(self, owner)

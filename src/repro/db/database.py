@@ -1,0 +1,453 @@
+"""The Database: full wiring of the MM-DBMS recovery architecture.
+
+One object owns the simulated hardware (clock, two CPUs, stable memories,
+duplexed log disks, checkpoint disk), the volatile database (segments,
+partitions, locks, catalogs), and the recovery component (Stable Log
+Buffer, Stable Log Tail, recovery processor, checkpoint manager, restart
+coordinator).
+
+Cooperative scheduling: the recovery CPU's duties run when
+:meth:`Database.pump` is called — the transaction manager's
+between-transactions moment of paper section 2.4 — and transparently when
+the SLB fills (back-pressure).  ``transaction()`` scopes pump on exit by
+default, so ordinary usage needs no explicit pumping.
+
+Crash semantics: :meth:`crash` discards everything volatile (partitions,
+lock tables, active transactions, catalog caches, index objects) and keeps
+everything stable (SLB, SLT, disks).  :meth:`restart` drains the stable
+log, recovers the catalogs, and then recovers partitions either eagerly
+(:attr:`RecoveryMode.EAGER`) or on demand with background sweeping
+(:attr:`RecoveryMode.ON_DEMAND`), exactly the two-phase restart of paper
+section 2.5.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.catalog.catalog import (
+    Catalog,
+    IndexDescriptor,
+    PartitionInfo,
+    RelationDescriptor,
+)
+from repro.catalog.schema import Schema
+from repro.checkpoint.disk_queue import CheckpointDiskQueue
+from repro.checkpoint.manager import CheckpointManager
+from repro.checkpoint.protocol import CheckpointQueue
+from repro.common.config import SystemConfig
+from repro.common.errors import (
+    CatalogError,
+    RecoveryError,
+    StableMemoryFullError,
+    StorageError,
+)
+from repro.common.types import PartitionAddress, SegmentKind
+from repro.concurrency.locks import LockManager, LockMode
+from repro.db.relation import Relation
+from repro.index.linear_hash import LinearHashIndex
+from repro.index.node_store import NodeStore
+from repro.index.ttree import TTreeIndex
+from repro.recovery.processor import RecoveryProcessor
+from repro.recovery.restart import RestartCoordinator
+from repro.sim.clock import VirtualClock
+from repro.sim.cpu import CpuMeter
+from repro.sim.disk import DuplexedDisk, SimulatedDisk
+from repro.sim.stable_memory import StableMemory
+from repro.storage.memory_manager import MemoryManager
+from repro.storage.partition import Partition
+from repro.txn.manager import TransactionManager
+from repro.txn.transaction import Transaction
+from repro.wal.audit import AuditLog
+from repro.wal.log_disk import LogDisk
+from repro.wal.records import RedoRecord
+from repro.wal.slb import StableLogBuffer
+from repro.wal.slt import StableLogTail
+
+#: Well-known stable-memory key for the catalog partition address list.
+CATALOG_LOCATIONS_KEY = "catalog-partitions"
+
+MAIN_CPU_MIPS = 6.0
+
+
+class RecoveryMode(enum.Enum):
+    """Post-crash restoration policy (paper section 2.5)."""
+
+    #: Restore every partition before returning from restart — the
+    #: database-level baseline behaviour.
+    EAGER = "eager"
+    #: Restore catalogs only; partitions recover when touched, plus one
+    #: background partition per :meth:`Database.pump`.
+    ON_DEMAND = "on-demand"
+
+
+class Database:
+    """A main-memory DBMS with the paper's recovery architecture."""
+
+    def __init__(self, config: SystemConfig | None = None):
+        self.config = config if config is not None else SystemConfig()
+        self._build_hardware()
+        self._build_volatile()
+        self._build_recovery_component()
+        self.crashed = False
+        self.restart_coordinator: RestartCoordinator | None = None
+
+    # -- construction ------------------------------------------------------------
+
+    def _build_hardware(self) -> None:
+        config = self.config
+        self.clock = VirtualClock()
+        self.main_cpu = CpuMeter("main", MAIN_CPU_MIPS, self.clock, config.analysis)
+        self.recovery_cpu = CpuMeter(
+            "recovery", config.analysis.p_recovery_mips, self.clock, config.analysis
+        )
+        self.slb_memory = StableMemory("slb", config.slb_capacity)
+        self.slt_memory = StableMemory("slt", config.slt_capacity)
+        log_pair = DuplexedDisk(
+            SimulatedDisk("log-primary", config.log_disk, self.clock),
+            SimulatedDisk("log-mirror", config.log_disk, self.clock),
+        )
+        self.log_disk = LogDisk(
+            log_pair, config.log_window_pages, config.log_window_grace_pages
+        )
+        self.checkpoint_disk = CheckpointDiskQueue(
+            SimulatedDisk("checkpoint", config.checkpoint_disk, self.clock),
+            config.checkpoint_slots,
+        )
+
+    def _build_volatile(self) -> None:
+        self.memory = MemoryManager(self.config.partition_size)
+        self.locks = LockManager()
+        self.catalog = Catalog(self.memory)
+        self._relations: dict[str, Relation] = {}
+        self._index_objects: dict[str, TTreeIndex | LinearHashIndex] = {}
+
+    def _build_recovery_component(self) -> None:
+        config = self.config
+        self.slb = StableLogBuffer(self.slb_memory, config.log_block_size)
+        self.slt = StableLogTail(self.slt_memory, config)
+        self.checkpoint_queue = CheckpointQueue(self.slb)
+        self.recovery_processor = RecoveryProcessor(
+            self.recovery_cpu,
+            self.slb,
+            self.slt,
+            self.log_disk,
+            self.checkpoint_queue,
+            config,
+        )
+        self.recovery_processor.bind_slot_free(self.checkpoint_disk.free)
+        self.audit = AuditLog(self.slb_memory, self.log_disk, config.log_page_size)
+        self.transactions = TransactionManager(self)
+        self.checkpoints = CheckpointManager(self)
+
+    # -- transaction plumbing (called by Transaction) ----------------------------------
+
+    def append_log(self, txn_id: int, record: RedoRecord) -> None:
+        """Write a REDO record to the SLB, draining on back-pressure.
+
+        The main CPU pays the stable-memory copy for its own log writes
+        (the only logging work it does, section 2.2).
+        """
+        self.main_cpu.charge_stable_bytes(record.size_bytes, "slb-write")
+        try:
+            self.slb.append(txn_id, record)
+        except StableMemoryFullError:
+            # The main CPU stalls while the recovery CPU frees blocks.
+            self.recovery_processor.run_until_drained()
+            self.slb.append(txn_id, record)
+
+    def on_transaction_finished(self, txn: Transaction) -> None:
+        self.transactions.finished(txn)
+
+    def on_partition_allocated(self, partition: Partition, txn: Transaction) -> None:
+        """A segment grew: give the partition its SLT bin and catalog it."""
+        partition.bin_index = self.slt.register_partition(partition.address)
+        segment_id = partition.address.segment
+        number = partition.address.partition
+        if segment_id == self.catalog.segment.segment_id:
+            self.catalog.own_partition_slots.setdefault(number, None)
+            self.publish_catalog_locations()
+            return
+        descriptor = self.catalog.descriptor_for_segment(segment_id)
+        descriptor.partitions[number] = PartitionInfo(number)
+        self.catalog.update(descriptor, txn)
+
+    def publish_catalog_locations(self) -> None:
+        """Duplicate the catalog partition address list into both stable
+        areas (section 2.5: 'stored twice, in the Stable Log Buffer and in
+        the Stable Log Tail')."""
+        entry = self.catalog.well_known_entry()
+        self.slb.put_well_known(CATALOG_LOCATIONS_KEY, entry)
+        self.slt.put_well_known(CATALOG_LOCATIONS_KEY, entry)
+
+    # -- cooperative scheduling ------------------------------------------------------------
+
+    def pump(self) -> None:
+        """Run the between-transactions duties of both processors."""
+        self.recovery_processor.run_until_drained()
+        self.recovery_processor.acknowledge_finished()
+        self.checkpoints.process_pending()
+        self.recovery_processor.acknowledge_finished()
+        if self.restart_coordinator is not None:
+            self.restart_coordinator.background_step()
+
+    def transaction(
+        self, *, pump: bool = True, relations: list[str] | None = None
+    ):
+        """``with db.transaction() as txn:`` — commit on success, abort on
+        exception, then run the between-transactions pump.
+
+        ``relations`` implements the paper's predeclared access (section
+        2.5 method 1): the named relations — and their indexes — are
+        recovered in their entirety *before* the transaction starts, so
+        it can never stall on a missing partition mid-flight.  Without
+        it, references recover partitions on demand (method 2).
+        """
+        import contextlib
+
+        @contextlib.contextmanager
+        def _scope():
+            if relations and self.restart_coordinator is not None:
+                for name in relations:
+                    self.restart_coordinator.recover_relation(name)
+            with self.transactions.scope() as txn:
+                yield txn
+            if pump:
+                self.pump()
+
+        return _scope()
+
+    # -- DDL -----------------------------------------------------------------------------------
+
+    def create_relation(
+        self,
+        name: str,
+        schema: list[tuple[str, str]] | Schema,
+        primary_key: str,
+        primary_index: str = "hash",
+    ) -> Relation:
+        """Create a relation plus its primary-key index.
+
+        ``primary_index`` picks the structure: ``"hash"`` (point lookups)
+        or ``"ttree"`` (ordered).
+        """
+        if self.catalog.has_relation(name):
+            raise CatalogError(f"relation {name!r} already exists")
+        if not isinstance(schema, Schema):
+            schema = Schema.of(schema)
+        schema.position(primary_key)  # validate
+        with self.transactions.scope() as txn:
+            txn.lock_relation(self.catalog.segment.segment_id, LockMode.INTENT_EXCLUSIVE)
+            segment = self.memory.create_segment(SegmentKind.RELATION, name)
+            descriptor = RelationDescriptor(
+                name=name,
+                segment_id=segment.segment_id,
+                schema=schema,
+                primary_key=primary_key,
+            )
+            self.catalog.store_new(descriptor, txn)
+            self._create_index_in_txn(
+                txn, f"{name}__pk", name, primary_key, primary_index
+            )
+        self.pump()
+        relation = Relation(self, name)
+        self._relations[name] = relation
+        return relation
+
+    def create_index(
+        self, index_name: str, relation_name: str, field: str, kind: str = "ttree"
+    ) -> None:
+        """Create a secondary index and backfill it from existing tuples."""
+        with self.transactions.scope() as txn:
+            txn.lock_relation(self.catalog.segment.segment_id, LockMode.INTENT_EXCLUSIVE)
+            self._create_index_in_txn(txn, index_name, relation_name, field, kind)
+            relation = self.table(relation_name)
+            descriptor = self.catalog.index(index_name)
+            index = self.index_object(descriptor, txn)
+            for row in relation.scan(txn):
+                index.insert(row[field], row.address)
+        self.pump()
+
+    def _create_index_in_txn(
+        self, txn: Transaction, index_name: str, relation_name: str, field: str, kind: str
+    ) -> None:
+        if kind not in ("ttree", "hash"):
+            raise CatalogError(f"unknown index kind {kind!r}")
+        relation_descriptor = self.catalog.relation(relation_name)
+        relation_descriptor.schema.position(field)  # validate
+        segment = self.memory.create_segment(SegmentKind.INDEX, index_name)
+        descriptor = IndexDescriptor(
+            name=index_name,
+            relation_name=relation_name,
+            segment_id=segment.segment_id,
+            kind=kind,
+            key_field=field,
+        )
+        self.catalog.store_new(descriptor, txn)
+        store = NodeStore(segment, txn)
+        if kind == "ttree":
+            index: TTreeIndex | LinearHashIndex = TTreeIndex(store)
+        else:
+            index = LinearHashIndex(store)
+        descriptor.anchor = index.anchor
+        self.catalog.update(descriptor, txn)
+        relation_descriptor.index_names.append(index_name)
+        self.catalog.update(relation_descriptor, txn)
+        self._index_objects[index_name] = index
+
+    def drop_index(self, index_name: str) -> None:
+        """Drop a secondary index (primary-key indexes cannot be dropped)."""
+        descriptor = self.catalog.index(index_name)
+        if index_name.endswith("__pk"):
+            raise CatalogError("primary-key indexes cannot be dropped")
+        with self.transactions.scope() as txn:
+            txn.lock_relation(self.catalog.segment.segment_id, LockMode.INTENT_EXCLUSIVE)
+            txn.lock_relation(descriptor.segment_id, LockMode.EXCLUSIVE)
+            relation_descriptor = self.catalog.relation(descriptor.relation_name)
+            relation_descriptor.index_names.remove(index_name)
+            self.catalog.update(relation_descriptor, txn)
+            self.catalog.drop(descriptor, txn)
+        # physical release only after the drop is durable: an aborted or
+        # crashed drop must leave the stable recovery state intact
+        self._release_segment(descriptor)
+        self._index_objects.pop(index_name, None)
+        self.pump()
+
+    def drop_relation(self, name: str) -> None:
+        """Drop a relation, its indexes, and all of their partitions."""
+        descriptor = self.catalog.relation(name)
+        index_descriptors = list(self.catalog.indexes_of(name))
+        with self.transactions.scope() as txn:
+            txn.lock_relation(self.catalog.segment.segment_id, LockMode.INTENT_EXCLUSIVE)
+            txn.lock_relation(descriptor.segment_id, LockMode.EXCLUSIVE)
+            for index_descriptor in index_descriptors:
+                self.catalog.drop(index_descriptor, txn)
+            self.catalog.drop(descriptor, txn)
+        for index_descriptor in index_descriptors:
+            self._release_segment(index_descriptor)
+            self._index_objects.pop(index_descriptor.name, None)
+        self._release_segment(descriptor)
+        self._relations.pop(name, None)
+        self.pump()
+
+    def _release_segment(self, descriptor) -> None:
+        """Free a dropped object's partitions: SLT bins, checkpoint
+        images, and the in-memory segment.  Runs after the catalog drop
+        committed."""
+        for number, info in sorted(descriptor.partitions.items()):
+            address = PartitionAddress(descriptor.segment_id, number)
+            if self.slt.has_partition(address):
+                self.slt.drop_partition(address)
+            if info.checkpoint_slot is not None:
+                self.checkpoint_disk.free(info.checkpoint_slot)
+        if descriptor.segment_id in self.memory:
+            self.memory.drop_segment(descriptor.segment_id)
+
+    # -- handles -----------------------------------------------------------------------------------
+
+    def table(self, name: str) -> Relation:
+        self.catalog.relation(name)  # raise early if unknown
+        if name not in self._relations:
+            self._relations[name] = Relation(self, name)
+        return self._relations[name]
+
+    def index_object(
+        self, descriptor: IndexDescriptor, txn: Transaction | None
+    ) -> TTreeIndex | LinearHashIndex:
+        """The live index structure for a descriptor, bound to ``txn``'s
+        change sink for this call."""
+        index = self._index_objects.get(descriptor.name)
+        if index is None:
+            self.ensure_segment_resident(descriptor.segment_id)
+            segment = self.memory.segment(descriptor.segment_id)
+            store = NodeStore(segment)
+            if descriptor.anchor is None:
+                raise CatalogError(f"index {descriptor.name!r} has no anchor")
+            if descriptor.kind == "ttree":
+                index = TTreeIndex(store, anchor=descriptor.anchor)
+            else:
+                index = LinearHashIndex(store, anchor=descriptor.anchor)
+            self._index_objects[descriptor.name] = index
+        index.store.sink = txn
+        return index
+
+    # -- residency / demand recovery --------------------------------------------------------------------
+
+    def ensure_partition(self, address: PartitionAddress) -> Partition:
+        """Resolve a partition, recovering it on demand after a crash.
+
+        Section 2.5's rule is enforced here: a transaction must not hold a
+        latch across a recovery wait — it would stall every other
+        transaction for the duration of a disk read.
+        """
+        segment = self.memory.segment(address.segment)
+        if segment.is_resident(address.partition):
+            return segment.get(address.partition)
+        if self.restart_coordinator is None:
+            return segment.get(address.partition)  # raises the right error
+        self.slb.block_latch.assert_unheld("on-demand partition recovery")
+        self.checkpoint_disk.map_latch.assert_unheld("on-demand partition recovery")
+        self.restart_coordinator.recover_partition(address)
+        return segment.get(address.partition)
+
+    def ensure_segment_resident(self, segment_id: int) -> None:
+        """Recover every partition of a segment (index segments are used
+        whole, so first touch restores them fully)."""
+        try:
+            segment = self.memory.segment(segment_id)
+        except StorageError:
+            raise
+        missing = segment.missing_partitions()
+        if not missing:
+            return
+        if self.restart_coordinator is None:
+            raise RecoveryError(
+                f"segment {segment_id} has unrecovered partitions but no "
+                f"restart is in progress"
+            )
+        for number in missing:
+            self.restart_coordinator.recover_partition(
+                PartitionAddress(segment_id, number)
+            )
+
+    # -- crash / restart -----------------------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose main memory.  Stable memory and disks survive."""
+        self.memory.crash()
+        self.locks.crash()
+        self.transactions.crash()
+        self._relations.clear()
+        self._index_objects.clear()
+        self.restart_coordinator = None
+        self.crashed = True
+
+    def restart(self, mode: RecoveryMode = RecoveryMode.ON_DEMAND) -> RestartCoordinator:
+        """Bring the system back: catalogs first, then data per ``mode``."""
+        if not self.crashed:
+            raise RecoveryError("restart() called but the system is not crashed")
+        self.slb.discard_uncommitted()
+        self.transactions = TransactionManager(self)
+        coordinator = RestartCoordinator(self)
+        coordinator.restore_system_state()
+        self.restart_coordinator = coordinator
+        self.crashed = False
+        if mode is RecoveryMode.EAGER:
+            coordinator.recover_everything()
+        return coordinator
+
+    # -- statistics -----------------------------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A status snapshot used by examples and benchmarks."""
+        return {
+            "clock_seconds": self.clock.now,
+            "transactions_committed": self.transactions.committed,
+            "transactions_aborted": self.transactions.aborted,
+            "slb_records_written": self.slb.records_written,
+            "slt_records_binned": self.slt.records_binned,
+            "log_pages_written": self.log_disk.pages_written,
+            "checkpoints_taken": self.checkpoints.checkpoints_taken,
+            "recovery_cpu_instructions": self.recovery_cpu.total_instructions,
+            "resident_partitions": self.memory.resident_partition_count(),
+        }

@@ -1,0 +1,155 @@
+"""System monitoring: a structured snapshot of every component.
+
+``Monitor(db).snapshot()`` returns nested dictionaries suitable for
+assertions or export; ``Monitor(db).report()`` renders them as the kind
+of status page an operator of this system would watch — stable memory
+headroom, recovery CPU utilisation, log window position, checkpoint
+backlog, per-relation residency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.units import format_bytes, format_seconds
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.database import Database
+
+
+class Monitor:
+    """Read-only view over a database's component statistics."""
+
+    def __init__(self, db: "Database"):
+        self.db = db
+
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        db = self.db
+        return {
+            "clock": {"seconds": db.clock.now},
+            "transactions": {
+                "committed": db.transactions.committed,
+                "aborted": db.transactions.aborted,
+                "active": db.transactions.active_count,
+            },
+            "stable_memory": {
+                "slb_used": db.slb_memory.used_bytes,
+                "slb_capacity": db.slb_memory.capacity_bytes,
+                "slt_used": db.slt_memory.used_bytes,
+                "slt_capacity": db.slt_memory.capacity_bytes,
+            },
+            "logging": {
+                "records_written": db.slb.records_written,
+                "bytes_written": db.slb.bytes_written,
+                "records_binned": db.slt.records_binned,
+                "pages_sealed": db.slt.pages_sealed,
+                "pages_on_disk": db.log_disk.pages_written,
+                "archive_pages": db.recovery_processor.archive_pages_written,
+                "window_start": db.log_disk.window_start,
+                "next_lsn": db.log_disk.next_lsn,
+                "active_bins": len(db.slt.active_bins()),
+            },
+            "checkpoints": {
+                "taken": db.checkpoints.checkpoints_taken,
+                "deferred": db.checkpoints.checkpoints_deferred,
+                "requested": db.recovery_processor.checkpoints_requested,
+                "queue_depth": len(db.checkpoint_queue),
+                "disk_slots_used": db.checkpoint_disk.occupied_count,
+            },
+            "cpu": {
+                "main_instructions": db.main_cpu.total_instructions,
+                "recovery_instructions": db.recovery_cpu.total_instructions,
+                "recovery_busy_seconds": db.recovery_cpu.busy_seconds(),
+                "recovery_breakdown": db.recovery_cpu.category_breakdown(),
+            },
+            "residency": self._residency(),
+            "audit": {
+                "entries": db.audit.entries_written,
+                "pages_flushed": db.audit.pages_flushed,
+            },
+        }
+
+    def _residency(self) -> dict:
+        db = self.db
+        per_object = {}
+        if not db.crashed:
+            for descriptor in list(db.catalog.relations()) + list(
+                db.catalog.indexes()
+            ):
+                try:
+                    segment = db.memory.segment(descriptor.segment_id)
+                except Exception:  # segment gone mid-recovery
+                    continue
+                per_object[descriptor.name] = {
+                    "partitions": len(descriptor.partitions),
+                    "resident": sum(1 for _ in segment.resident_partitions()),
+                    "missing": len(segment.missing_partitions()),
+                }
+        overflow = 0
+        if not db.crashed:
+            overflow = sum(
+                part.overflow_bytes
+                for segment in db.memory.segments()
+                for part in segment.resident_partitions()
+            )
+        return {
+            "resident_partitions": 0 if db.crashed else db.memory.resident_partition_count(),
+            "resident_bytes": 0 if db.crashed else db.memory.resident_bytes(),
+            "overflow_bytes": overflow,
+            "objects": per_object,
+        }
+
+    # -- rendering -----------------------------------------------------------------
+
+    def report(self) -> str:
+        snap = self.snapshot()
+        db = self.db
+        recovery_util = (
+            snap["cpu"]["recovery_busy_seconds"] / snap["clock"]["seconds"]
+            if snap["clock"]["seconds"] > 0
+            else 0.0
+        )
+        lines = [
+            "=== system status " + "=" * 44,
+            f"simulated time      {format_seconds(snap['clock']['seconds'])}",
+            f"transactions        {snap['transactions']['committed']} committed / "
+            f"{snap['transactions']['aborted']} aborted / "
+            f"{snap['transactions']['active']} active",
+            "--- stable memory",
+            f"  SLB               {format_bytes(snap['stable_memory']['slb_used'])}"
+            f" / {format_bytes(snap['stable_memory']['slb_capacity'])}",
+            f"  SLT               {format_bytes(snap['stable_memory']['slt_used'])}"
+            f" / {format_bytes(snap['stable_memory']['slt_capacity'])}",
+            "--- logging",
+            f"  records           {snap['logging']['records_written']} written, "
+            f"{snap['logging']['records_binned']} binned",
+            f"  log pages         {snap['logging']['pages_on_disk']} on disk "
+            f"({snap['logging']['archive_pages']} archive), window "
+            f"[{snap['logging']['window_start']}, {snap['logging']['next_lsn']})",
+            f"  active bins       {snap['logging']['active_bins']}",
+            "--- checkpoints",
+            f"  taken/deferred    {snap['checkpoints']['taken']} / "
+            f"{snap['checkpoints']['deferred']}",
+            f"  queue depth       {snap['checkpoints']['queue_depth']}",
+            f"  disk slots used   {snap['checkpoints']['disk_slots_used']} / "
+            f"{db.checkpoint_disk.slots}",
+            "--- processors",
+            f"  main CPU          {snap['cpu']['main_instructions']:,.0f} instructions",
+            f"  recovery CPU      {snap['cpu']['recovery_instructions']:,.0f} "
+            f"instructions ({recovery_util:.1%} utilised)",
+            "--- residency",
+            f"  partitions        {snap['residency']['resident_partitions']} resident, "
+            f"{format_bytes(snap['residency']['resident_bytes'])}",
+        ]
+        for name, info in sorted(snap["residency"]["objects"].items()):
+            lines.append(
+                f"    {name:<20} {info['resident']}/{info['partitions']} resident"
+                + (f" ({info['missing']} missing)" if info["missing"] else "")
+            )
+        lines.append(
+            f"--- audit trail      {snap['audit']['entries']} entries, "
+            f"{snap['audit']['pages_flushed']} pages flushed"
+        )
+        return "\n".join(lines)

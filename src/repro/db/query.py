@@ -1,0 +1,221 @@
+"""A small query layer over relations.
+
+The paper's MM-DBMS is the system of Lehman & Carey's query-processing
+and index studies (Lehman 86a/86c); this module provides the slice of
+that layer a user of the recovery system actually needs:
+
+* :class:`Query` — predicate + projection evaluation with a tiny access
+  path planner: an equality predicate on an indexed field becomes an
+  index lookup, a range predicate on a T-Tree field becomes an index
+  range scan, anything else falls back to a relation scan.
+  :meth:`Query.explain` reports the chosen path.
+* aggregates — count / sum / min / max / avg over a query.
+* joins — hash join (equality) and nested-loop join (arbitrary
+  predicate), both main-memory algorithms in the spirit of the era's
+  main-memory join work.
+
+All evaluation runs inside a caller-provided transaction, so reads take
+the ordinary shared locks.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.common.errors import CatalogError
+from repro.db.relation import Relation, Row
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.txn.transaction import Transaction
+
+_OPERATORS: dict[str, Callable] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_RANGE_OPERATORS = {"<", "<=", ">", ">="}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    field: str
+    op: str
+    value: object
+
+    def matches(self, row: Row) -> bool:
+        return _OPERATORS[self.op](row[self.field], self.value)
+
+
+class Query:
+    """A filtered, projected view over one relation."""
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self._predicates: list[Predicate] = []
+        self._fields: list[str] | None = None
+
+    # -- building -----------------------------------------------------------------
+
+    def where(self, field: str, op: str, value) -> "Query":
+        if op not in _OPERATORS:
+            raise CatalogError(f"unknown operator {op!r}")
+        self.relation.schema.position(field)  # validate
+        self._predicates.append(Predicate(field, op, value))
+        return self
+
+    def select(self, *fields: str) -> "Query":
+        for field in fields:
+            self.relation.schema.position(field)
+        self._fields = list(fields)
+        return self
+
+    # -- planning -------------------------------------------------------------------
+
+    def _indexed_fields(self) -> dict[str, tuple[str, bool]]:
+        """field -> (index name, ordered?) for every index on the relation."""
+        catalog = self.relation.db.catalog
+        out = {}
+        for descriptor in catalog.indexes_of(self.relation.name):
+            out.setdefault(
+                descriptor.key_field, (descriptor.name, descriptor.kind == "ttree")
+            )
+        return out
+
+    def _plan(self) -> tuple[str, Predicate | None]:
+        """Choose the access path: ('index-eq'|'index-range'|'scan', driver)."""
+        indexed = self._indexed_fields()
+        for predicate in self._predicates:
+            if predicate.op == "==" and predicate.field in indexed:
+                return "index-eq", predicate
+        for predicate in self._predicates:
+            if predicate.op in _RANGE_OPERATORS and predicate.field in indexed:
+                if indexed[predicate.field][1]:  # ordered index
+                    return "index-range", predicate
+        return "scan", None
+
+    def explain(self) -> str:
+        """Human-readable description of the chosen access path."""
+        path, driver = self._plan()
+        if path == "index-eq":
+            index_name = self._indexed_fields()[driver.field][0]
+            return f"index lookup on {index_name} ({driver.field} == ...)"
+        if path == "index-range":
+            index_name = self._indexed_fields()[driver.field][0]
+            return f"index range scan on {index_name} ({driver.field} {driver.op} ...)"
+        return f"full scan of {self.relation.name}"
+
+    # -- execution --------------------------------------------------------------------
+
+    def rows(self, txn: "Transaction") -> Iterator[Row]:
+        """Matching rows (unprojected)."""
+        path, driver = self._plan()
+        residual = [p for p in self._predicates if p is not driver]
+        if path == "index-eq":
+            index_name = self._indexed_fields()[driver.field][0]
+            candidates: Iterator[Row] = iter(
+                self.relation.lookup_by(txn, index_name, driver.value)
+            )
+        elif path == "index-range":
+            index_name = self._indexed_fields()[driver.field][0]
+            low = driver.value if driver.op in (">", ">=") else None
+            high = driver.value if driver.op in ("<", "<=") else None
+            candidates = self.relation.range_by(txn, index_name, low, high)
+            residual = [p for p in self._predicates]  # strictness recheck
+        else:
+            candidates = self.relation.scan(txn)
+            residual = list(self._predicates)
+        for row in candidates:
+            if all(p.matches(row) for p in residual):
+                yield row
+
+    def execute(self, txn: "Transaction") -> list[dict]:
+        """Materialise the result with the projection applied."""
+        out = []
+        for row in self.rows(txn):
+            if self._fields is None:
+                out.append(dict(row.values))
+            else:
+                out.append({field: row[field] for field in self._fields})
+        return out
+
+    # -- aggregates ----------------------------------------------------------------------
+
+    def count(self, txn: "Transaction") -> int:
+        return sum(1 for _ in self.rows(txn))
+
+    def sum(self, txn: "Transaction", field: str) -> int:
+        self.relation.schema.position(field)
+        return sum(row[field] for row in self.rows(txn))
+
+    def min(self, txn: "Transaction", field: str):
+        return min((row[field] for row in self.rows(txn)), default=None)
+
+    def max(self, txn: "Transaction", field: str):
+        return max((row[field] for row in self.rows(txn)), default=None)
+
+    def avg(self, txn: "Transaction", field: str) -> float | None:
+        values = [row[field] for row in self.rows(txn)]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+
+# ------------------------------------------------------------------------------
+# Joins
+# ------------------------------------------------------------------------------
+
+
+def hash_join(
+    txn: "Transaction",
+    left: Query,
+    right: Query,
+    on: tuple[str, str],
+    prefix: tuple[str, str] = ("l_", "r_"),
+) -> list[dict]:
+    """Main-memory equality hash join: build on the left, probe with the
+    right.  Column names are disambiguated with the given prefixes."""
+    left_field, right_field = on
+    left.relation.schema.position(left_field)
+    right.relation.schema.position(right_field)
+    table: dict[object, list[Row]] = {}
+    for row in left.rows(txn):
+        table.setdefault(row[left_field], []).append(row)
+    out = []
+    for right_row in right.rows(txn):
+        for left_row in table.get(right_row[right_field], []):
+            out.append(_merge(left_row, right_row, prefix))
+    return out
+
+
+def nested_loop_join(
+    txn: "Transaction",
+    left: Query,
+    right: Query,
+    predicate: Callable[[Row, Row], bool],
+    prefix: tuple[str, str] = ("l_", "r_"),
+) -> list[dict]:
+    """Nested-loop join with an arbitrary join predicate.
+
+    The inner input is materialised once (everything is memory-resident;
+    re-scanning would only re-take locks)."""
+    inner = list(right.rows(txn))
+    out = []
+    for left_row in left.rows(txn):
+        for right_row in inner:
+            if predicate(left_row, right_row):
+                out.append(_merge(left_row, right_row, prefix))
+    return out
+
+
+def _merge(left_row: Row, right_row: Row, prefix: tuple[str, str]) -> dict:
+    merged = {prefix[0] + key: value for key, value in left_row.values.items()}
+    merged.update(
+        {prefix[1] + key: value for key, value in right_row.values.items()}
+    )
+    return merged

@@ -1,0 +1,29 @@
+"""Main-memory index structures (the Lehman 86c substrate).
+
+The paper's MM-DBMS indexes relations with T-Trees and Modified Linear
+Hashing; index *components* (tree nodes, hash buckets, anchors) are
+entities in index-segment partitions, each component update producing one
+REDO log record (section 2.3.2).
+
+* :mod:`repro.index.keys` — order-preserving key encoding.
+* :mod:`repro.index.node_store` — components as partition entities, with
+  the change hooks that feed logging and locking.
+* :mod:`repro.index.ttree` — the T-Tree ordered index.
+* :mod:`repro.index.linear_hash` — Modified Linear Hashing.
+"""
+
+from repro.index.base import Index
+from repro.index.keys import decode_key, encode_key
+from repro.index.linear_hash import LinearHashIndex
+from repro.index.node_store import ChangeSink, NodeStore
+from repro.index.ttree import TTreeIndex
+
+__all__ = [
+    "ChangeSink",
+    "Index",
+    "LinearHashIndex",
+    "NodeStore",
+    "TTreeIndex",
+    "decode_key",
+    "encode_key",
+]

@@ -1,0 +1,75 @@
+"""Common index interface and shared serialisation helpers."""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.common.errors import IndexStructureError
+from repro.common.types import EntityAddress
+from repro.index.keys import Key, decode_key, encode_key
+
+#: Null component pointer.
+NULL_ADDRESS = EntityAddress(-1, -1, -1)
+
+_ADDRESS = struct.Struct("<iiq")
+_U16 = struct.Struct("<H")
+
+
+def pack_address(address: EntityAddress) -> bytes:
+    return _ADDRESS.pack(address.segment, address.partition, address.offset)
+
+
+def unpack_address(buf: bytes, pos: int) -> tuple[EntityAddress, int]:
+    segment, partition, offset = _ADDRESS.unpack_from(buf, pos)
+    return EntityAddress(segment, partition, offset), pos + _ADDRESS.size
+
+
+def pack_item(key: Key, value: EntityAddress) -> bytes:
+    encoded = encode_key(key)
+    return _U16.pack(len(encoded)) + encoded + pack_address(value)
+
+
+def unpack_item(buf: bytes, pos: int) -> tuple[Key, EntityAddress, int]:
+    (key_len,) = _U16.unpack_from(buf, pos)
+    pos += _U16.size
+    key = decode_key(buf[pos : pos + key_len])
+    pos += key_len
+    value, pos = unpack_address(buf, pos)
+    return key, value, pos
+
+
+class Index:
+    """Interface shared by the T-Tree and the linear hash index.
+
+    Values are entity addresses (of relation tuples).  Duplicate keys are
+    permitted; ``(key, value)`` pairs are unique.
+    """
+
+    #: Set by subclasses: True when the index supports range scans.
+    ORDERED: bool = False
+
+    def insert(self, key: Key, value: EntityAddress) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: Key, value: EntityAddress) -> None:
+        raise NotImplementedError
+
+    def search(self, key: Key) -> list[EntityAddress]:
+        raise NotImplementedError
+
+    def items(self) -> Iterator[tuple[Key, EntityAddress]]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def verify_invariants(self) -> None:
+        """Raise :class:`IndexStructureError` on any structural violation."""
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------------
+
+    @staticmethod
+    def _not_found(key: Key, value: EntityAddress) -> IndexStructureError:
+        return IndexStructureError(f"({key!r}, {value}) not present in index")

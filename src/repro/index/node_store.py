@@ -1,0 +1,118 @@
+"""Index components as partition entities.
+
+Every index component (T-Tree node, hash bucket, anchor) is stored as a
+serialised entity in a partition of the index's segment.  All mutation
+flows through :class:`NodeStore`, which reports each change to a
+:class:`ChangeSink` — the transaction layer implements the sink to write
+one REDO record per updated component (section 2.3.2), take the
+component's before-image for UNDO, and two-phase lock the component.
+
+The store also grows the index segment on demand; new-partition events are
+reported to the sink as well, because the catalog must learn about the
+partition and the Stable Log Tail must get its bin.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.common.errors import PartitionFullError
+from repro.common.types import EntityAddress
+from repro.storage.partition import Partition
+from repro.storage.segment import Segment
+
+
+class ChangeSink(Protocol):
+    """Receives index component change notifications.
+
+    Implemented by the transaction context; a ``None`` sink (bulk loads,
+    recovery rebuilds) skips logging and locking entirely.
+    """
+
+    def index_node_written(
+        self, address: EntityAddress, before: bytes | None, after: bytes
+    ) -> None:
+        """A component was created (``before is None``) or overwritten."""
+
+    def index_node_freed(self, address: EntityAddress, before: bytes) -> None:
+        """A component was released."""
+
+    def partition_allocated(self, partition: Partition) -> None:
+        """The segment grew by one partition."""
+
+
+class NodeStore:
+    """Allocate / read / write / free serialised index components.
+
+    New components are only placed in a partition while it is below
+    ``1 - growth_reserve`` full: the reserve stays available for in-place
+    *growth* of existing components (hash anchors grow with the bucket
+    directory; T-Tree nodes grow toward ``max_items``) — the classic
+    PCTFREE idea.
+    """
+
+    def __init__(
+        self,
+        segment: Segment,
+        sink: ChangeSink | None = None,
+        growth_reserve: float = 0.15,
+    ):
+        if not 0.0 <= growth_reserve < 1.0:
+            raise ValueError("growth_reserve must be in [0, 1)")
+        self.segment = segment
+        self.sink = sink
+        self.growth_reserve = growth_reserve
+
+    def with_sink(self, sink: ChangeSink | None) -> "NodeStore":
+        """A view of the same segment reporting to a different sink."""
+        return NodeStore(self.segment, sink)
+
+    # -- operations -------------------------------------------------------------
+
+    def allocate(self, data: bytes) -> EntityAddress:
+        """Store a new component, growing the segment if necessary."""
+        partition = self._partition_with_room(len(data))
+        offset = partition.insert(data)
+        address = EntityAddress(
+            partition.address.segment, partition.address.partition, offset
+        )
+        if self.sink is not None:
+            self.sink.index_node_written(address, None, data)
+        return address
+
+    def read(self, address: EntityAddress) -> bytes:
+        return self.segment.get(address.partition).read(address.offset)
+
+    def write(self, address: EntityAddress, data: bytes) -> None:
+        partition = self.segment.get(address.partition)
+        before = partition.read(address.offset)
+        partition.update(address.offset, data)
+        if self.sink is not None:
+            self.sink.index_node_written(address, before, data)
+
+    def free(self, address: EntityAddress) -> None:
+        partition = self.segment.get(address.partition)
+        before = partition.read(address.offset)
+        partition.delete(address.offset)
+        if self.sink is not None:
+            self.sink.index_node_freed(address, before)
+
+    # -- placement ----------------------------------------------------------------
+
+    def _partition_with_room(self, nbytes: int) -> Partition:
+        from repro.storage.partition import ENTITY_HEADER_BYTES
+
+        needed = nbytes + ENTITY_HEADER_BYTES
+        for partition in self.segment.resident_partitions():
+            reserve = int(partition.entity_capacity * self.growth_reserve)
+            if partition.free_bytes - reserve >= needed:
+                return partition
+        entity_capacity, _ = self.segment.fresh_partition_capacities()
+        if needed > entity_capacity:
+            raise PartitionFullError(
+                f"index component of {nbytes} bytes exceeds partition capacity"
+            )
+        partition = self.segment.allocate_partition()
+        if self.sink is not None:
+            self.sink.partition_allocated(partition)
+        return partition

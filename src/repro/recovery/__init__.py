@@ -1,0 +1,27 @@
+"""The recovery component.
+
+* :mod:`repro.recovery.processor` — the recovery CPU's normal-operation
+  loop: drain committed records from the SLB, sort them into SLT bins,
+  flush full pages, trigger checkpoints, acknowledge finished checkpoints.
+* :mod:`repro.recovery.redo` — rebuild one partition from its checkpoint
+  image plus its chained log pages plus its pending SLT records.
+* :mod:`repro.recovery.restart` — post-crash orchestration: catalogs
+  first, then on-demand and background partition recovery.
+"""
+
+from repro.recovery.media import (
+    rebuild_partition_from_history,
+    restore_after_checkpoint_media_failure,
+)
+from repro.recovery.processor import RecoveryProcessor
+from repro.recovery.redo import enumerate_log_pages, rebuild_partition
+from repro.recovery.restart import RestartCoordinator
+
+__all__ = [
+    "RecoveryProcessor",
+    "RestartCoordinator",
+    "enumerate_log_pages",
+    "rebuild_partition",
+    "rebuild_partition_from_history",
+    "restore_after_checkpoint_media_failure",
+]

@@ -1,0 +1,187 @@
+"""Archive (media-failure) recovery — paper section 2.6.
+
+The checkpoint disk holds the archive copy of the memory-resident
+database; if *that* disk fails, the paper falls back to classical archive
+recovery from the log history.  Our log history is fully retained: pages
+that slide out of the log window land in the :class:`ArchiveStore`
+("rolled to tape"), and the partition address stamped on every page —
+plus the addresses inside mixed archive pages — "allows the log pages of
+a partition to be located when the log is used for archive recovery".
+
+Full-history replay rebuilds a partition *from empty* by applying every
+committed record ever logged for it, in LSN order (the recovery
+processor guarantees per-partition LSN order even across mixed archive
+pages), finishing with the records still buffered in its Stable Log Tail
+bin.
+
+:func:`restore_after_checkpoint_media_failure` orchestrates the whole
+event: every catalogued partition is rebuilt from history, fresh
+checkpoint images are cut to the replacement disk, and the catalogs are
+repointed — after which normal crash recovery works again.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import LogError, RecoveryError
+from repro.common.types import PartitionAddress
+from repro.storage.partition import Partition
+from repro.wal.log_disk import ARCHIVE_SEGMENT, LogDisk
+from repro.wal.slt import StableLogTail
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.database import Database
+
+
+def rebuild_partition_from_history(
+    address: PartitionAddress,
+    log_disk: LogDisk,
+    slt: StableLogTail,
+    partition_size: int,
+    heap_fraction: float = 0.25,
+    pending_archive: list | None = None,
+) -> tuple[Partition, dict]:
+    """Replay a partition's complete committed history from the log.
+
+    Unlike normal memory recovery, no checkpoint image is used — this is
+    the path for when the checkpoint disk itself is gone.
+
+    Apply order: every on-disk page in LSN order (the recovery processor
+    guarantees per-partition order across dedicated and mixed pages),
+    then ``pending_archive`` — checkpoint leftovers still in the stable
+    archive buffer, which postdate every on-disk page of this partition —
+    then the records in the partition's bin buffer, which are newest.
+    """
+    partition = Partition(address, partition_size, heap_fraction)
+    stats = {"pages_scanned": 0, "records_applied": 0}
+    for lsn in log_disk.all_lsns():
+        try:
+            owner = log_disk.page_owner(lsn)
+        except LogError:  # pragma: no cover - defensive
+            continue
+        if owner == address:
+            page = log_disk.read_page(lsn, expected=address)
+            stats["pages_scanned"] += 1
+            for record in page.records:
+                record.apply(partition)
+                stats["records_applied"] += 1
+        elif owner.segment == ARCHIVE_SEGMENT:
+            page = log_disk.read_page(lsn)
+            stats["pages_scanned"] += 1
+            for record in page.records:
+                if record.partition_address == address:
+                    record.apply(partition)
+                    stats["records_applied"] += 1
+    for record in pending_archive or []:
+        record.apply(partition)
+        stats["records_applied"] += 1
+    if slt.has_partition(address):
+        bin_ = slt.bin_for_partition(address)
+        for record in bin_.buffer:
+            record.apply(partition)
+            stats["records_applied"] += 1
+        partition.bin_index = bin_.bin_index
+    return partition, stats
+
+
+def restore_after_checkpoint_media_failure(db: "Database") -> dict:
+    """Recover the whole database after the checkpoint disk is destroyed.
+
+    Precondition: the system has crashed (or is taken down) and the
+    checkpoint disk's contents are unreadable.  The log disks, the stable
+    memories, and the catalog partition address list all survive.
+
+    Steps:
+
+    1. Sort any remaining committed records into the Stable Log Tail.
+    2. Rebuild the catalog partitions from log history, rebuild the
+       catalogs, and re-register every segment.
+    3. Rebuild every catalogued partition from log history.
+    4. Cut fresh checkpoint images for everything onto the (replacement)
+       checkpoint disk and repoint the catalogs, so ordinary crash
+       recovery is possible again.
+
+    Returns statistics about the restore.
+    """
+    if not db.crashed:
+        raise RecoveryError("media restore expects the system to be down")
+    from repro.catalog.catalog import Catalog
+    from repro.db.database import CATALOG_LOCATIONS_KEY
+
+    db.slb.discard_uncommitted()
+    db.checkpoint_queue.revert_in_progress()
+    db.recovery_processor.run_until_drained()
+    # Finished-but-unacknowledged checkpoints: their images are gone with
+    # the disk, so DO NOT reset their bins — drop the queue entries and
+    # let full-history replay cover them.
+    for request in list(db.checkpoint_queue.finished()):
+        db.checkpoint_queue.remove(request)
+
+    entry = db.slb.get_well_known(CATALOG_LOCATIONS_KEY) or db.slt.get_well_known(
+        CATALOG_LOCATIONS_KEY
+    )
+    totals = {"partitions_rebuilt": 0, "records_applied": 0, "pages_scanned": 0}
+    if not entry:
+        db.catalog = Catalog(db.memory)
+        db.crashed = False
+        return totals
+
+    catalog, locations = Catalog.from_well_known_entry(db.memory, entry)
+    for address, _lost_slot in locations:
+        partition, stats = rebuild_partition_from_history(
+            address,
+            db.log_disk,
+            db.slt,
+            db.config.partition_size,
+            pending_archive=db.recovery_processor.pending_archive_records(address),
+        )
+        catalog.segment.install(partition)
+        _accumulate(totals, stats)
+        catalog.own_partition_slots[address.partition] = None  # image lost
+    db.catalog = catalog
+    catalog.rebuild()
+
+    from repro.catalog.catalog import IndexDescriptor
+    from repro.common.types import SegmentKind
+
+    for descriptor in list(catalog.relations()) + list(catalog.indexes()):
+        kind = (
+            SegmentKind.INDEX
+            if isinstance(descriptor, IndexDescriptor)
+            else SegmentKind.RELATION
+        )
+        segment = db.memory.register_segment(
+            descriptor.segment_id, kind, descriptor.name
+        )
+        for number in sorted(descriptor.partitions):
+            descriptor.partitions[number].checkpoint_slot = None  # image lost
+            address = PartitionAddress(descriptor.segment_id, number)
+            partition, stats = rebuild_partition_from_history(
+                address,
+                db.log_disk,
+                db.slt,
+                db.config.partition_size,
+                pending_archive=db.recovery_processor.pending_archive_records(address),
+            )
+            segment.install(partition)
+            _accumulate(totals, stats)
+
+    # The old images are gone; start the replacement disk's map clean and
+    # cut fresh checkpoints so future crashes recover normally.
+    db.checkpoint_disk.rebuild_map(set())
+    db.crashed = False
+    db.restart_coordinator = None
+    for bin_ in db.slt.bins():
+        db.slt.mark_for_checkpoint(bin_.bin_index, "media-restore")
+        db.checkpoint_queue.submit(bin_.partition, bin_.bin_index, "media-restore")
+    db.checkpoints.process_pending()
+    db.recovery_processor.acknowledge_finished()
+    db.publish_catalog_locations()
+    return totals
+
+
+def _accumulate(totals: dict, stats: dict) -> None:
+    totals["partitions_rebuilt"] += 1
+    totals["records_applied"] += stats["records_applied"]
+    totals["pages_scanned"] += stats["pages_scanned"]

@@ -1,0 +1,217 @@
+"""Post-crash restart orchestration (paper section 2.5).
+
+Order of operations:
+
+1. Revert in-progress checkpoint requests (their transactions died) and
+   discard uncommitted SLB chains.
+2. Drain the SLB's committed records into the Stable Log Tail — they were
+   durable at commit, the sorting step just had not caught up.
+3. Acknowledge checkpoints that finished right before the crash so their
+   bins do not replay pre-checkpoint records onto post-checkpoint images.
+4. Read the catalog partition address list from the well-known stable
+   area, recover the catalog partitions, and rebuild the catalogs.
+5. Register every catalogued segment with all partitions marked missing.
+6. Signal the transaction manager to begin processing: partitions are
+   then restored on demand by recovery transactions, while
+   :meth:`RestartCoordinator.background_step` sweeps the remainder at low
+   priority between regular transactions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.catalog.catalog import Catalog, IndexDescriptor
+from repro.common.errors import RecoveryError, ReproError
+from repro.sim.faults import TornWriteError
+from repro.common.types import PartitionAddress, SegmentKind
+from repro.recovery.redo import rebuild_partition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.database import Database
+
+CATALOG_LOCATIONS_KEY = "catalog-partitions"
+
+
+class RestartCoordinator:
+    """Drives the two-phase restart and the per-partition recovery
+    transactions that follow."""
+
+    def __init__(self, db: "Database"):
+        self.db = db
+        self.partitions_recovered = 0
+        self.records_replayed = 0
+        self.pages_read = 0
+        self.backward_reads = 0
+        #: Simulated seconds from restart to transaction-processing-ready.
+        self.catalog_restore_seconds: float | None = None
+        self.torn_images_survived = 0
+        self._background_queue: list[PartitionAddress] = []
+
+    # -- phase one: system state ----------------------------------------------------
+
+    def restore_system_state(self) -> None:
+        db = self.db
+        start = db.clock.now
+        db.checkpoint_queue.revert_in_progress()
+        db.recovery_processor.run_until_drained()
+        db.recovery_processor.acknowledge_finished()
+        entry = db.slb.get_well_known(CATALOG_LOCATIONS_KEY)
+        if entry is None:
+            # The SLT holds the duplicate copy (section 2.5).
+            entry = db.slt.get_well_known(CATALOG_LOCATIONS_KEY)
+        if not entry:
+            # Nothing was ever created: come up empty.
+            db.catalog = Catalog(db.memory)
+            self.catalog_restore_seconds = db.clock.now - start
+            return
+        catalog, locations = Catalog.from_well_known_entry(db.memory, entry)
+        for address, slot in locations:
+            partition, stats = rebuild_partition(
+                address,
+                slot,
+                db.checkpoint_disk,
+                db.log_disk,
+                db.slt,
+                db.config.partition_size,
+            )
+            catalog.segment.install(partition)
+            self._note(stats)
+        db.catalog = catalog
+        catalog.rebuild()
+        self._register_segments()
+        db.checkpoint_disk.rebuild_map(db.checkpoints.occupied_slots())
+        self.catalog_restore_seconds = db.clock.now - start
+
+    def _register_segments(self) -> None:
+        db = self.db
+        for descriptor in list(db.catalog.relations()) + list(db.catalog.indexes()):
+            kind = (
+                SegmentKind.INDEX
+                if isinstance(descriptor, IndexDescriptor)
+                else SegmentKind.RELATION
+            )
+            segment = db.memory.register_segment(
+                descriptor.segment_id, kind, descriptor.name
+            )
+            numbers = sorted(descriptor.partitions)
+            segment.mark_missing(numbers)
+            self._background_queue.extend(
+                PartitionAddress(descriptor.segment_id, number) for number in numbers
+            )
+
+    # -- per-partition recovery transactions ------------------------------------------------
+
+    def recover_partition(self, address: PartitionAddress) -> dict | None:
+        """Recovery transaction for one partition; returns its stats, or
+        None if the partition is already resident.
+
+        A checkpoint image torn by the crash (detectable on read) is
+        survived by falling back to full-history replay from the log —
+        the archive-recovery path of section 2.6.
+        """
+        db = self.db
+        try:
+            segment = db.memory.segment(address.segment)
+        except ReproError:
+            # the object was dropped while awaiting recovery: nothing to do
+            return None
+        if segment.is_resident(address.partition):
+            return None
+        slot = self._checkpoint_slot(address)
+        try:
+            partition, stats = rebuild_partition(
+                address,
+                slot,
+                db.checkpoint_disk,
+                db.log_disk,
+                db.slt,
+                db.config.partition_size,
+            )
+        except TornWriteError:
+            from repro.recovery.media import rebuild_partition_from_history
+
+            partition, media_stats = rebuild_partition_from_history(
+                address,
+                db.log_disk,
+                db.slt,
+                db.config.partition_size,
+                pending_archive=db.recovery_processor.pending_archive_records(
+                    address
+                ),
+            )
+            stats = {
+                "pages_read": media_stats["pages_scanned"],
+                "backward_reads": 0,
+                "records_applied": media_stats["records_applied"],
+            }
+            self.torn_images_survived += 1
+        segment.install(partition)
+        self._note(stats)
+        return stats
+
+    def _checkpoint_slot(self, address: PartitionAddress) -> int | None:
+        db = self.db
+        if address.segment == db.catalog.segment.segment_id:
+            return db.catalog.own_partition_slots.get(address.partition)
+        descriptor = db.catalog.descriptor_for_segment(address.segment)
+        info = descriptor.partitions.get(address.partition)
+        if info is None:
+            raise RecoveryError(f"{address} is not catalogued")
+        return info.checkpoint_slot
+
+    def recover_relation(self, name: str) -> int:
+        """Predeclared access (section 2.5 method 1): restore a relation's
+        tuple partitions and all of its index partitions.
+
+        Returns the number of partitions recovered now.
+        """
+        db = self.db
+        recovered = 0
+        descriptor = db.catalog.relation(name)
+        targets = descriptor.partition_addresses()
+        for index_descriptor in db.catalog.indexes_of(name):
+            targets.extend(index_descriptor.partition_addresses())
+        for address in targets:
+            if self.recover_partition(address) is not None:
+                recovered += 1
+        return recovered
+
+    def recover_everything(self) -> int:
+        """Database-level restoration: restore all partitions now."""
+        recovered = 0
+        for address in list(self._background_queue):
+            if self.recover_partition(address) is not None:
+                recovered += 1
+        self._background_queue.clear()
+        return recovered
+
+    def background_step(self) -> PartitionAddress | None:
+        """Low-priority sweep: restore one not-yet-recovered partition.
+
+        Called between regular transactions (section 2.5's system
+        transaction).  Returns the address recovered, or None when done.
+        """
+        while self._background_queue:
+            address = self._background_queue.pop(0)
+            if self.recover_partition(address) is not None:
+                return address
+        return None
+
+    # -- progress -------------------------------------------------------------------------------
+
+    @property
+    def fully_recovered(self) -> bool:
+        db = self.db
+        return all(segment.fully_resident for segment in db.memory.segments())
+
+    def pending_partitions(self) -> int:
+        return sum(
+            len(segment.missing_partitions()) for segment in self.db.memory.segments()
+        )
+
+    def _note(self, stats: dict) -> None:
+        self.partitions_recovered += 1
+        self.records_replayed += stats["records_applied"]
+        self.pages_read += stats["pages_read"] + stats["backward_reads"]
+        self.backward_reads += stats["backward_reads"]

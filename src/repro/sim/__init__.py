@@ -1,0 +1,31 @@
+"""Simulated hardware substrate.
+
+The paper assumes hardware that does not exist on a laptop: a dedicated
+1-MIPS recovery processor, tens of megabytes of stable *and* reliable RAM,
+and duplexed two-head log disks.  This package simulates each of them:
+
+* :mod:`repro.sim.clock` — a virtual clock; all timing in the system is
+  simulated time, never wall-clock time.
+* :mod:`repro.sim.cpu` — instruction-count accounting per processor,
+  parameterised by the paper's Table 2 costs.
+* :mod:`repro.sim.disk` — a durable, block-addressed disk with the paper's
+  seek/rotate/transfer timing, surviving simulated crashes.
+* :mod:`repro.sim.stable_memory` — capacity-tracked stable reliable RAM.
+* :mod:`repro.sim.faults` — crash and torn-write injection.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.cpu import CpuMeter
+from repro.sim.disk import DuplexedDisk, SimulatedDisk
+from repro.sim.faults import CrashInjector, TornWriteError
+from repro.sim.stable_memory import StableMemory
+
+__all__ = [
+    "CpuMeter",
+    "CrashInjector",
+    "DuplexedDisk",
+    "SimulatedDisk",
+    "StableMemory",
+    "TornWriteError",
+    "VirtualClock",
+]

@@ -1,0 +1,201 @@
+"""Simulated disks.
+
+A :class:`SimulatedDisk` is a block-addressed, durable byte store with the
+paper's timing model: seeks, rotational latency, and separate page-rate /
+track-rate transfers (section 3.1 — partitions are written in whole tracks
+at double the individual-page rate; log-disk sectors are interleaved so
+back-to-back page writes do not lose a revolution).
+
+Contents survive simulated crashes — the crash controller clears volatile
+state only.  Media failure is out of scope here, exactly as in the paper
+(section 2.6 defers it to classical archive recovery), but torn page writes
+*are* modelled so the duplexed log-disk pair of section 2.2 has something
+to protect against: see :class:`DuplexedDisk`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import DiskParameters
+from repro.sim.clock import VirtualClock
+from repro.sim.faults import TornWriteError
+
+
+@dataclass
+class DiskStats:
+    """Operation counters for one simulated disk."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    track_reads: int = 0
+    track_writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_seconds: float = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "page_reads": self.page_reads,
+            "page_writes": self.page_writes,
+            "track_reads": self.track_reads,
+            "track_writes": self.track_writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "busy_seconds": self.busy_seconds,
+        }
+
+
+@dataclass
+class _Block:
+    data: bytes
+    #: False when the block was the target of an injected torn write.
+    intact: bool = True
+
+
+class SimulatedDisk:
+    """One durable, block-addressed disk with simulated timing."""
+
+    def __init__(
+        self,
+        name: str,
+        params: DiskParameters,
+        clock: VirtualClock,
+    ):
+        self.name = name
+        self.params = params
+        self.clock = clock
+        self.stats = DiskStats()
+        self._blocks: dict[int, _Block] = {}
+        #: When set, the next write is torn: the block is left unreadable.
+        self._tear_next_write = False
+
+    # -- fault injection ------------------------------------------------------
+
+    def inject_torn_write(self) -> None:
+        """Arrange for the next write to be torn (half-written)."""
+        self._tear_next_write = True
+
+    # -- writes ---------------------------------------------------------------
+
+    def write_page(self, block_id: int, data: bytes, *, sibling: bool = False) -> None:
+        """Write one individually addressed page."""
+        self._account_write(self.params.page_write_time(len(data), sibling=sibling))
+        self.stats.page_writes += 1
+        self._store(block_id, data)
+
+    def write_track(self, block_id: int, data: bytes) -> None:
+        """Write whole tracks (used for partition checkpoint images)."""
+        self._account_write(self.params.track_write_time(len(data)))
+        self.stats.track_writes += 1
+        self._store(block_id, data)
+
+    def _store(self, block_id: int, data: bytes) -> None:
+        intact = not self._tear_next_write
+        self._tear_next_write = False
+        self._blocks[block_id] = _Block(bytes(data), intact=intact)
+        self.stats.bytes_written += len(data)
+
+    def _account_write(self, seconds: float) -> None:
+        self.stats.busy_seconds += seconds
+        self.clock.advance(seconds)
+
+    # -- reads ----------------------------------------------------------------
+
+    def read_page(self, block_id: int, *, sibling: bool = False) -> bytes:
+        block = self._fetch(block_id)
+        seconds = self.params.page_read_time(len(block.data), sibling=sibling)
+        self.stats.page_reads += 1
+        self._account_read(seconds, len(block.data))
+        return block.data
+
+    def read_track(self, block_id: int) -> bytes:
+        block = self._fetch(block_id)
+        seconds = self.params.track_read_time(len(block.data))
+        self.stats.track_reads += 1
+        self._account_read(seconds, len(block.data))
+        return block.data
+
+    def _fetch(self, block_id: int) -> _Block:
+        try:
+            block = self._blocks[block_id]
+        except KeyError:
+            raise KeyError(f"disk {self.name!r} has no block {block_id}") from None
+        if not block.intact:
+            raise TornWriteError(
+                f"disk {self.name!r} block {block_id} was torn by a crash"
+            )
+        return block
+
+    def _account_read(self, seconds: float, nbytes: int) -> None:
+        self.stats.busy_seconds += seconds
+        self.stats.bytes_read += nbytes
+        self.clock.advance(seconds)
+
+    # -- inspection -----------------------------------------------------------
+
+    def contains(self, block_id: int) -> bool:
+        return block_id in self._blocks
+
+    def free(self, block_id: int) -> None:
+        """Release a block (space reclamation; no timing charged)."""
+        self._blocks.pop(block_id, None)
+
+    def destroy(self) -> int:
+        """Media failure: every block on this spindle is lost.
+
+        Returns the number of blocks destroyed.  Recovery from this is
+        the archive-recovery problem of paper section 2.6.
+        """
+        lost = len(self._blocks)
+        self._blocks.clear()
+        return lost
+
+    def block_ids(self) -> list[int]:
+        return sorted(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __repr__(self) -> str:
+        return f"SimulatedDisk(name={self.name!r}, blocks={len(self._blocks)})"
+
+
+class DuplexedDisk:
+    """A mirrored pair of log disks (paper section 2.2).
+
+    Writes go to both spindles; reads are served from the primary and fall
+    back to the mirror if the primary copy is torn.  Timing charges both
+    writes (the drives operate in parallel in the paper, but the simulation
+    is single-threaded, so we charge the slower — identical — of the two
+    once and track the second on the mirror's own stats only).
+    """
+
+    def __init__(self, primary: SimulatedDisk, mirror: SimulatedDisk):
+        if primary is mirror:
+            raise ValueError("a duplexed pair needs two distinct disks")
+        self.primary = primary
+        self.mirror = mirror
+
+    def write_page(self, block_id: int, data: bytes, *, sibling: bool = False) -> None:
+        self.primary.write_page(block_id, data, sibling=sibling)
+        # The mirror write overlaps the primary's in real hardware; store the
+        # bytes without advancing the shared clock a second time.
+        self.mirror.stats.page_writes += 1
+        self.mirror._store(block_id, data)
+
+    def read_page(self, block_id: int, *, sibling: bool = False) -> bytes:
+        try:
+            return self.primary.read_page(block_id, sibling=sibling)
+        except TornWriteError:
+            return self.mirror.read_page(block_id, sibling=sibling)
+
+    def contains(self, block_id: int) -> bool:
+        return self.primary.contains(block_id) or self.mirror.contains(block_id)
+
+    def free(self, block_id: int) -> None:
+        self.primary.free(block_id)
+        self.mirror.free(block_id)
+
+    def block_ids(self) -> list[int]:
+        return sorted(set(self.primary.block_ids()) | set(self.mirror.block_ids()))

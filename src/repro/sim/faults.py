@@ -1,0 +1,73 @@
+"""Fault injection for the crash experiments.
+
+The paper motivates recovery with power loss, chip burnout, and runaway
+software (section 1).  All of them share one observable effect in our
+model: *volatile state is gone, stable state survives*.
+:class:`CrashInjector` lets tests and benchmarks trigger that effect at a
+deterministic point — after a chosen number of operations — so crash
+scenarios are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import ReproError
+
+
+class TornWriteError(ReproError):
+    """A disk block was only partially written when the system crashed."""
+
+
+class SimulatedCrash(ReproError):
+    """Raised at the injected crash point; the harness catches it and calls
+    ``Database.crash()``."""
+
+
+class CrashInjector:
+    """Counts down operations and raises :class:`SimulatedCrash` at zero.
+
+    Usage::
+
+        injector = CrashInjector(after_operations=100)
+        ...
+        injector.tick()   # call once per guarded operation
+
+    A disabled injector (``after_operations=None``) ticks for free, so the
+    hook can stay in place on hot paths.
+    """
+
+    def __init__(
+        self,
+        after_operations: int | None = None,
+        on_crash: Callable[[], None] | None = None,
+    ):
+        if after_operations is not None and after_operations < 1:
+            raise ValueError("after_operations must be at least 1")
+        self._remaining = after_operations
+        self._on_crash = on_crash
+        self.fired = False
+
+    @property
+    def armed(self) -> bool:
+        return self._remaining is not None and not self.fired
+
+    def tick(self) -> None:
+        """Register one operation; crash when the countdown is exhausted."""
+        if self._remaining is None or self.fired:
+            return
+        self._remaining -= 1
+        if self._remaining <= 0:
+            self.fired = True
+            if self._on_crash is not None:
+                self._on_crash()
+            raise SimulatedCrash("injected crash point reached")
+
+    def disarm(self) -> None:
+        self._remaining = None
+
+    def rearm(self, after_operations: int) -> None:
+        if after_operations < 1:
+            raise ValueError("after_operations must be at least 1")
+        self._remaining = after_operations
+        self.fired = False

@@ -1,0 +1,67 @@
+"""Transaction manager: id assignment, active-set tracking, scoping."""
+
+from __future__ import annotations
+
+import contextlib
+from typing import TYPE_CHECKING, Iterator
+
+from repro.common.errors import TransactionStateError
+from repro.txn.transaction import Transaction, TxnState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.database import Database
+
+
+class TransactionManager:
+    """Creates transactions and tracks the active set."""
+
+    def __init__(self, db: "Database"):
+        self.db = db
+        self._next_id = 1
+        self._active: dict[int, Transaction] = {}
+        self.committed = 0
+        self.aborted = 0
+
+    def begin(self, *, system: bool = False, user_data: str = "") -> Transaction:
+        txn = Transaction(self.db, self._next_id, system=system, user_data=user_data)
+        self._next_id += 1
+        self._active[txn.txn_id] = txn
+        return txn
+
+    def finished(self, txn: Transaction) -> None:
+        """Called by the transaction on commit/abort."""
+        self._active.pop(txn.txn_id, None)
+        if txn.state is TxnState.COMMITTED:
+            self.committed += 1
+        elif txn.state is TxnState.ABORTED:
+            self.aborted += 1
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def active_transactions(self) -> list[Transaction]:
+        return [self._active[txn_id] for txn_id in sorted(self._active)]
+
+    @contextlib.contextmanager
+    def scope(self) -> Iterator[Transaction]:
+        """``with manager.scope() as txn:`` — commit on success, abort on
+        any exception (then re-raise)."""
+        txn = self.begin()
+        try:
+            yield txn
+        except BaseException:
+            if txn.state is TxnState.ACTIVE:
+                txn.abort()
+            raise
+        if txn.state is TxnState.ACTIVE:
+            txn.commit()
+        elif txn.state is TxnState.ABORTED:
+            raise TransactionStateError(
+                f"txn {txn.txn_id} aborted inside its scope without an exception"
+            )
+
+    def crash(self) -> None:
+        """Active transactions simply vanish with main memory; their SLB
+        chains are discarded by the restart policy."""
+        self._active.clear()

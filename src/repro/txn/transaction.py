@@ -1,0 +1,274 @@
+"""One transaction: its REDO chain, UNDO chain, and locks.
+
+The transaction object doubles as the *change sink* for every layer that
+mutates partitions on its behalf — relation operations, catalog updates,
+and index component writes all report here, producing:
+
+* a REDO record appended to the transaction's Stable Log Buffer chain
+  (with the target partition's bin index stamped in, section 2.3.2),
+* an UNDO record in the volatile UNDO space, and
+* a two-phase lock on the touched entity, held until commit.
+
+Lock policy is no-wait: a conflicting request aborts this transaction
+immediately (conservative deadlock avoidance, natural for the cooperative
+single-threaded simulation where a blocked transaction could never be
+resumed by its blocker).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.common.errors import TransactionAborted, TransactionStateError
+from repro.common.types import EntityAddress, PartitionAddress
+from repro.concurrency.locks import LockMode
+from repro.wal import records as redo
+from repro.wal import undo
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.database import Database
+    from repro.storage.partition import Partition
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """A unit of work with strict two-phase locking and instant commit."""
+
+    def __init__(
+        self,
+        db: "Database",
+        txn_id: int,
+        *,
+        system: bool = False,
+        user_data: str = "",
+    ):
+        self.db = db
+        self.txn_id = txn_id
+        self.system = system
+        self.state = TxnState.ACTIVE
+        self._undo: list[undo.UndoRecord] = []
+        self.redo_records = 0
+        db.slb.open_chain(txn_id)
+        db.audit.record(txn_id, "begin", db.clock.now, user_data)
+
+    # -- state ---------------------------------------------------------------
+
+    def _ensure_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionStateError(
+                f"txn {self.txn_id} is {self.state.value}, not active"
+            )
+
+    @property
+    def undo_record_count(self) -> int:
+        return len(self._undo)
+
+    @property
+    def undo_bytes(self) -> int:
+        return sum(record.size_bytes for record in self._undo)
+
+    # -- locking ----------------------------------------------------------------
+
+    def lock(self, resource, mode: LockMode) -> None:
+        """Acquire a lock or die: a refused request aborts this transaction."""
+        self._ensure_active()
+        granted = self.db.locks.acquire(self.txn_id, resource, mode, wait=False)
+        if not granted:
+            self.abort()
+            raise TransactionAborted(
+                f"txn {self.txn_id} aborted: lock conflict on {resource!r}",
+                txn_id=self.txn_id,
+            )
+
+    def lock_entity(self, address: EntityAddress, mode: LockMode) -> None:
+        self.lock(address, mode)
+
+    def lock_relation(self, segment_id: int, mode: LockMode) -> None:
+        self.lock(("rel", segment_id), mode)
+
+    # -- commit / abort --------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Instant commit: the REDO chain is already stable."""
+        self._ensure_active()
+        self.db.slb.commit(self.txn_id)
+        self.state = TxnState.COMMITTED
+        self._undo.clear()  # UNDO information is discarded at commit
+        self.db.locks.release_all(self.txn_id)
+        self.db.audit.record(self.txn_id, "commit", self.db.clock.now)
+        self.db.on_transaction_finished(self)
+
+    def abort(self) -> None:
+        """Roll back: apply UNDO records newest-first, discard REDO chain."""
+        self._ensure_active()
+        for record in reversed(self._undo):
+            record.apply(self.db.memory)
+        self._undo.clear()
+        self.db.slb.abort(self.txn_id)
+        self.state = TxnState.ABORTED
+        self.db.locks.release_all(self.txn_id)
+        self.db.audit.record(self.txn_id, "abort", self.db.clock.now)
+        self.db.on_transaction_finished(self)
+
+    # -- statement-level atomicity -------------------------------------------------------
+
+    def statement(self):
+        """``with txn.statement():`` — make one multi-step operation
+        atomic within the transaction.
+
+        If the body raises, every mutation it performed is undone (UNDO
+        suffix applied in reverse) and its REDO records are removed from
+        the stable chain, so a later commit of the surrounding
+        transaction replays exactly the work that logically happened.
+        The exception propagates; the transaction itself stays active.
+        """
+        return _StatementScope(self)
+
+    def _statement_mark(self) -> tuple[int, int]:
+        return len(self._undo), self.redo_records
+
+    def _statement_rollback(self, mark: tuple[int, int]) -> None:
+        undo_mark, redo_mark = mark
+        for record in reversed(self._undo[undo_mark:]):
+            record.apply(self.db.memory)
+        del self._undo[undo_mark:]
+        self.db.slb.truncate_chain(self.txn_id, redo_mark)
+        self.redo_records = redo_mark
+
+    # -- logging core ------------------------------------------------------------------
+
+    def _bin_index(self, partition_address: PartitionAddress) -> int:
+        return self.db.slt.bin_index_of(partition_address)
+
+    def _log(self, record: redo.RedoRecord, undo_record: undo.UndoRecord) -> None:
+        # UNDO first: the mutation is already applied, so if the REDO
+        # write fails (stable buffer exhausted even after draining — a
+        # transaction too large for the SLB) the rollback must already
+        # know how to reverse it.
+        self._undo.append(undo_record)
+        try:
+            self.db.append_log(self.txn_id, record)
+        except Exception as exc:
+            self.abort()
+            raise TransactionAborted(
+                f"txn {self.txn_id} aborted: log write failed ({exc})",
+                txn_id=self.txn_id,
+            ) from exc
+        self.redo_records += 1
+
+    # -- EntitySink: tuple / catalog entity changes ----------------------------------------
+
+    def entity_inserted(self, address: EntityAddress, data: bytes) -> None:
+        self._ensure_active()
+        self._log(
+            redo.TupleInsert(self.txn_id, self._bin_index(address.partition_address), address, data),
+            undo.UndoTupleInsert(address),
+        )
+
+    def entity_updated(self, address: EntityAddress, before: bytes, after: bytes) -> None:
+        self._ensure_active()
+        self._log(
+            redo.TupleUpdate(self.txn_id, self._bin_index(address.partition_address), address, after),
+            undo.UndoTupleUpdate(address, before),
+        )
+
+    def entity_patched(
+        self, address: EntityAddress, start: int, before: bytes, after: bytes
+    ) -> None:
+        """A single-field byte-range update (the compact relation record)."""
+        self._ensure_active()
+        self._log(
+            redo.FieldPatch(self.txn_id, self._bin_index(address.partition_address), address, start, after),
+            undo.UndoFieldPatch(address, start, before),
+        )
+
+    def entity_deleted(self, address: EntityAddress, before: bytes) -> None:
+        self._ensure_active()
+        self._log(
+            redo.TupleDelete(self.txn_id, self._bin_index(address.partition_address), address),
+            undo.UndoTupleDelete(address, before),
+        )
+
+    # -- heap (string space) operations ---------------------------------------------------------
+
+    def heap_put(self, partition: PartitionAddress, handle: int, data: bytes) -> None:
+        self._ensure_active()
+        self._log(
+            redo.HeapPut(self.txn_id, self._bin_index(partition), partition, handle, data),
+            undo.UndoHeapPut(partition, handle),
+        )
+
+    def heap_replace(
+        self, partition: PartitionAddress, handle: int, before: bytes, after: bytes
+    ) -> None:
+        self._ensure_active()
+        self._log(
+            redo.HeapReplace(self.txn_id, self._bin_index(partition), partition, handle, after),
+            undo.UndoHeapReplace(partition, handle, before),
+        )
+
+    def heap_delete(
+        self, partition: PartitionAddress, handle: int, before: bytes
+    ) -> None:
+        self._ensure_active()
+        self._log(
+            redo.HeapDelete(self.txn_id, self._bin_index(partition), partition, handle),
+            undo.UndoHeapDelete(partition, handle, before),
+        )
+
+    # -- ChangeSink: index component changes ------------------------------------------------------
+
+    def index_node_written(
+        self, address: EntityAddress, before: bytes | None, after: bytes
+    ) -> None:
+        self._ensure_active()
+        self.lock_entity(address, LockMode.EXCLUSIVE)
+        self._log(
+            redo.IndexNodeWrite(self.txn_id, self._bin_index(address.partition_address), address, after),
+            undo.UndoIndexNodeWrite(address, before),
+        )
+
+    def index_node_freed(self, address: EntityAddress, before: bytes) -> None:
+        self._ensure_active()
+        self.lock_entity(address, LockMode.EXCLUSIVE)
+        self._log(
+            redo.IndexNodeFree(self.txn_id, self._bin_index(address.partition_address), address),
+            undo.UndoIndexNodeFree(address, before),
+        )
+
+    # -- segment growth ----------------------------------------------------------------------------
+
+    def partition_allocated(self, partition: "Partition") -> None:
+        self._ensure_active()
+        self.db.on_partition_allocated(partition, self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Transaction(id={self.txn_id}, state={self.state.value}, "
+            f"redo={self.redo_records}, undo={len(self._undo)})"
+        )
+
+
+class _StatementScope:
+    """Context manager backing :meth:`Transaction.statement`."""
+
+    def __init__(self, txn: Transaction):
+        self._txn = txn
+        self._mark: tuple[int, int] | None = None
+
+    def __enter__(self) -> Transaction:
+        self._txn._ensure_active()
+        self._mark = self._txn._statement_mark()
+        return self._txn
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None and self._txn.state is TxnState.ACTIVE:
+            assert self._mark is not None
+            self._txn._statement_rollback(self._mark)
+        return False  # never swallow the exception

@@ -1,0 +1,253 @@
+"""The log disk: page-addressed REDO storage with a reusable log window.
+
+Section 2.3.3: the available log space is constant and reused over time.
+The *log window* is a fixed span of pages that slides forward as new pages
+are written; active log information about to fall off the end forces an
+age-triggered checkpoint (with a grace period between trigger and actual
+reuse).  Pages that leave the window are handed to the archive component —
+the paper rolls them to tape for media recovery; we keep them in an
+in-memory :class:`ArchiveStore` so media-failure scenarios remain
+exercisable.
+
+Log pages are duplexed across two simulated disks (section 2.2) and carry
+the owning partition's address as a consistency check plus, on the first
+page of each directory group, the embedded directory of the previous group
+(section 2.3.3, Figure 4).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.common.errors import LogError, LogWindowOverrunError
+from repro.common.types import NULL_LSN, PartitionAddress
+from repro.sim.disk import DuplexedDisk
+from repro.wal.records import (
+    RedoRecord,
+    decode_records,
+    decode_records_compact,
+    encode_record_compact,
+)
+
+#: Partition segment value marking a mixed archive page (section 2.4: partial
+#: bin pages are combined with other partitions' records into full pages).
+ARCHIVE_SEGMENT = -1
+
+_PAGE_HEADER = struct.Struct("<iiqHI")  # segment, partition, lsn, dir_len, body_len
+
+
+@dataclass
+class LogPage:
+    """One page of REDO records for a single partition (or a mixed
+    archive page)."""
+
+    partition: PartitionAddress
+    records: list[RedoRecord]
+    #: Directory of the previous group's page LSNs; non-empty only on the
+    #: first page of a new directory group.
+    embedded_directory: list[int] = field(default_factory=list)
+    #: Assigned at write time.
+    lsn: int = NULL_LSN
+
+    @property
+    def is_archive_page(self) -> bool:
+        return self.partition.segment == ARCHIVE_SEGMENT
+
+    def encode(self) -> bytes:
+        if self.is_archive_page:
+            # mixed pages span partitions: full record format
+            body = b"".join(record.encode() for record in self.records)
+        else:
+            # dedicated pages condense the log: the partition address is
+            # stripped from every record (section 2.3.3 point 3) — the
+            # page header carries it once for all of them
+            body = b"".join(encode_record_compact(r) for r in self.records)
+        header = _PAGE_HEADER.pack(
+            self.partition.segment,
+            self.partition.partition,
+            self.lsn,
+            len(self.embedded_directory),
+            len(body),
+        )
+        directory = b"".join(
+            struct.pack("<q", lsn) for lsn in self.embedded_directory
+        )
+        return header + directory + body
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "LogPage":
+        segment, partition_no, lsn, dir_len, body_len = _PAGE_HEADER.unpack_from(
+            blob, 0
+        )
+        pos = _PAGE_HEADER.size
+        directory = []
+        for _ in range(dir_len):
+            (entry,) = struct.unpack_from("<q", blob, pos)
+            directory.append(entry)
+            pos += 8
+        body = blob[pos : pos + body_len]
+        partition = PartitionAddress(segment, partition_no)
+        if segment == ARCHIVE_SEGMENT:
+            records = decode_records(body)
+        else:
+            records = decode_records_compact(body, partition)
+        return cls(
+            partition=partition,
+            records=records,
+            embedded_directory=directory,
+            lsn=lsn,
+        )
+
+
+class ArchiveStore:
+    """Pages that slid out of the log window, 'rolled to tape'."""
+
+    def __init__(self):
+        self._pages: dict[int, bytes] = {}
+
+    def accept(self, lsn: int, blob: bytes) -> None:
+        self._pages[lsn] = blob
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, lsn: int) -> bool:
+        return lsn in self._pages
+
+    def read(self, lsn: int) -> LogPage:
+        try:
+            return LogPage.decode(self._pages[lsn])
+        except KeyError:
+            raise LogError(f"archive has no page {lsn}") from None
+
+
+class LogDisk:
+    """Duplexed log disks plus the sliding log window."""
+
+    def __init__(self, disks: DuplexedDisk, window_pages: int, grace_pages: int):
+        if window_pages <= grace_pages:
+            raise ValueError("window must be larger than the grace period")
+        self.disks = disks
+        self.window_pages = window_pages
+        self.grace_pages = grace_pages
+        self.archive = ArchiveStore()
+        self._next_lsn = 0
+        self.pages_written = 0
+        self.pages_read = 0
+
+    # -- window geometry ----------------------------------------------------------
+
+    @property
+    def next_lsn(self) -> int:
+        return self._next_lsn
+
+    @property
+    def window_start(self) -> int:
+        """Oldest LSN still inside the log window."""
+        return max(0, self._next_lsn - self.window_pages)
+
+    @property
+    def age_trigger_lsn(self) -> int:
+        """Pages with first LSN below this must be checkpointed now so
+        their space can be reclaimed after the grace period."""
+        return max(0, self.window_start + self.grace_pages)
+
+    def in_window(self, lsn: int) -> bool:
+        return self.window_start <= lsn < self._next_lsn
+
+    # -- I/O -----------------------------------------------------------------------
+
+    def append_page(self, page: LogPage) -> int:
+        """Assign the next LSN, write the page (both spindles), slide the
+        window, and archive any page that just fell out."""
+        page.lsn = self._next_lsn
+        self._next_lsn += 1
+        self.disks.write_page(page.lsn, page.encode(), sibling=True)
+        self.pages_written += 1
+        self._reclaim_expired()
+        return page.lsn
+
+    def append_opaque_page(self, marker_segment: int, body: bytes) -> int:
+        """Write a non-REDO page (audit trail) in the same LSN space.
+
+        The page carries the standard framing with ``marker_segment`` as
+        its owner so scans can classify it, but its body is opaque to the
+        REDO machinery.
+        """
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        header = _PAGE_HEADER.pack(marker_segment, 0, lsn, 0, len(body))
+        self.disks.write_page(lsn, header + body, sibling=True)
+        self.pages_written += 1
+        self._reclaim_expired()
+        return lsn
+
+    def read_opaque_page(self, lsn: int, marker_segment: int) -> bytes:
+        """Read back an opaque page's body, checking its marker."""
+        if self.disks.contains(lsn):
+            blob = self.disks.read_page(lsn, sibling=True)
+        elif lsn in self.archive:
+            blob = self.archive._pages[lsn]
+        else:
+            raise LogError(f"log page {lsn} not found on disk or archive")
+        segment, _, page_lsn, _, body_len = _PAGE_HEADER.unpack_from(blob, 0)
+        if segment != marker_segment or page_lsn != lsn:
+            raise LogError(f"page {lsn} is not an opaque page of {marker_segment}")
+        pos = _PAGE_HEADER.size
+        return blob[pos : pos + body_len]
+
+    def read_page(self, lsn: int, *, expected: PartitionAddress | None = None) -> LogPage:
+        """Read and decode one log page, optionally verifying its owner.
+
+        Pages that left the window are transparently served from the
+        archive (the paper's media-recovery path would do the same from
+        tape)."""
+        if self.disks.contains(lsn):
+            page = LogPage.decode(self.disks.read_page(lsn, sibling=True))
+        elif lsn in self.archive:
+            page = self.archive.read(lsn)
+        else:
+            raise LogError(f"log page {lsn} not found on disk or archive")
+        self.pages_read += 1
+        if page.lsn != lsn:
+            raise LogError(f"log page {lsn} carries LSN {page.lsn}")
+        if expected is not None and page.partition != expected:
+            raise LogError(
+                f"log page {lsn} belongs to {page.partition}, expected {expected}"
+            )
+        return page
+
+    def page_owner(self, lsn: int) -> PartitionAddress:
+        """Peek a page's owning partition (archive/audit markers included)
+        without decoding its body."""
+        if self.disks.contains(lsn):
+            blob = self.disks.read_page(lsn, sibling=True)
+        elif lsn in self.archive:
+            blob = self.archive._pages[lsn]
+        else:
+            raise LogError(f"log page {lsn} not found on disk or archive")
+        segment, partition, _, _, _ = _PAGE_HEADER.unpack_from(blob, 0)
+        return PartitionAddress(segment, partition)
+
+    def all_lsns(self) -> list[int]:
+        """Every page LSN still held anywhere: active window plus archive."""
+        return sorted(set(self.disks.block_ids()) | set(self.archive._pages))
+
+    def _reclaim_expired(self) -> None:
+        start = self.window_start
+        for lsn in [b for b in self.disks.block_ids() if b < start]:
+            blob = self.disks.primary.read_page(lsn, sibling=True)
+            self.archive.accept(lsn, blob)
+            self.disks.free(lsn)
+
+    # -- safety check ---------------------------------------------------------------
+
+    def assert_recoverable(self, first_lsn: int, partition: PartitionAddress) -> None:
+        """Raise if a partition's oldest log page left the window without a
+        checkpoint — the failure the age trigger exists to prevent."""
+        if first_lsn != NULL_LSN and first_lsn < self.window_start:
+            raise LogWindowOverrunError(
+                f"{partition}: first log page {first_lsn} fell off the log "
+                f"window (starts at {self.window_start}) before checkpoint"
+            )

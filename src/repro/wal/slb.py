@@ -1,0 +1,262 @@
+"""The Stable Log Buffer (SLB).
+
+Section 2.3.1: REDO log records are placed in stable memory so that
+transactions commit *instantly* — they never wait for a log-disk flush.
+The SLB is managed as a set of fixed-size blocks handed to transactions on
+demand; a block belongs to one transaction for its lifetime, so critical
+sections are needed only for block allocation, never for log writing —
+this removes the classical log-tail hot spot.
+
+Chains of blocks live on one of two lists: the *uncommitted* transaction
+list and the *committed* transaction list, the latter kept in commit order
+so the recovery CPU can drain records to the Stable Log Tail in that
+order.  After a crash the committed list (stable) is drained normally and
+the uncommitted list is discarded — those transactions never committed.
+
+The SLB also hosts the system's well-known communication areas (the
+checkpoint request queue of section 2.4 and the catalog partition address
+list of section 2.5), exposed through :meth:`put_well_known` /
+:meth:`get_well_known`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.errors import LogError, StableMemoryFullError, TransactionStateError
+from repro.concurrency.latch import Latch
+from repro.sim.stable_memory import StableMemory
+from repro.wal.records import RedoRecord
+
+#: Stable bytes reserved for the well-known communication areas.
+WELL_KNOWN_RESERVE = 64 * 1024
+
+
+@dataclass
+class _LogBlock:
+    """One fixed-size block of the SLB, dedicated to a single transaction."""
+
+    block_id: int
+    records: list[RedoRecord] = field(default_factory=list)
+    used_bytes: int = 0
+
+
+class TransactionLogChain:
+    """The chain of SLB blocks belonging to one transaction."""
+
+    def __init__(self, txn_id: int, block_size: int):
+        self.txn_id = txn_id
+        self.block_size = block_size
+        self.blocks: list[_LogBlock] = []
+        self.record_count = 0
+
+    def current_block(self) -> _LogBlock | None:
+        return self.blocks[-1] if self.blocks else None
+
+    def fits_in_current(self, record: RedoRecord) -> bool:
+        block = self.current_block()
+        return block is not None and block.used_bytes + record.size_bytes <= self.block_size
+
+    def append_to_current(self, record: RedoRecord) -> None:
+        block = self.current_block()
+        if block is None:
+            raise LogError("no block allocated to this chain")
+        block.records.append(record)
+        block.used_bytes += record.size_bytes
+        self.record_count += 1
+
+    def records(self) -> Iterator[RedoRecord]:
+        for block in self.blocks:
+            yield from block.records
+
+
+class StableLogBuffer:
+    """Stable RAM region holding per-transaction REDO chains."""
+
+    def __init__(self, stable: StableMemory, block_size: int):
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.stable = stable
+        self.block_size = block_size
+        self.block_latch = Latch("slb-block-free-list")
+        self._next_block_id = 1
+        self._uncommitted: dict[int, TransactionLogChain] = {}
+        #: Committed chains in commit order, awaiting the recovery CPU.
+        self._committed: list[TransactionLogChain] = []
+        self._well_known: dict[str, object] = {}
+        self.stable.allocate("slb-well-known", WELL_KNOWN_RESERVE, self._well_known)
+        # statistics
+        self.records_written = 0
+        self.bytes_written = 0
+        self.commits = 0
+        self.aborts = 0
+
+    # -- transaction chains ------------------------------------------------------
+
+    def open_chain(self, txn_id: int) -> TransactionLogChain:
+        if txn_id in self._uncommitted:
+            raise TransactionStateError(f"txn {txn_id} already has an open chain")
+        chain = TransactionLogChain(txn_id, self.block_size)
+        self._uncommitted[txn_id] = chain
+        return chain
+
+    def append(self, txn_id: int, record: RedoRecord) -> None:
+        """Write one REDO record into the transaction's chain.
+
+        Raises :class:`StableMemoryFullError` when no block can be
+        allocated — the main CPU must let the recovery CPU drain the
+        committed list and retry (back-pressure).
+        """
+        chain = self._require_open(txn_id)
+        if not chain.fits_in_current(record):
+            self._allocate_block(chain)
+        chain.append_to_current(record)
+        self.records_written += 1
+        self.bytes_written += record.size_bytes
+
+    def _allocate_block(self, chain: TransactionLogChain) -> None:
+        # Block allocation is the one critical section of the log path.
+        with self.block_latch.held_by(chain.txn_id):
+            block_id = self._next_block_id
+            try:
+                self.stable.allocate(f"slb-block-{block_id}", self.block_size)
+            except StableMemoryFullError:
+                raise StableMemoryFullError(
+                    "Stable Log Buffer exhausted; drain committed records"
+                ) from None
+            self._next_block_id += 1
+            chain.blocks.append(_LogBlock(block_id))
+
+    def _require_open(self, txn_id: int) -> TransactionLogChain:
+        try:
+            return self._uncommitted[txn_id]
+        except KeyError:
+            raise TransactionStateError(
+                f"txn {txn_id} has no open log chain"
+            ) from None
+
+    # -- commit / abort --------------------------------------------------------------
+
+    def commit(self, txn_id: int) -> None:
+        """Move the chain to the committed list (in commit order).
+
+        This is the *entire* commit-time log work: the records are already
+        in stable memory, so the transaction is durable the moment the
+        chain changes lists.
+        """
+        chain = self._require_open(txn_id)
+        del self._uncommitted[txn_id]
+        self._committed.append(chain)
+        self.commits += 1
+
+    def abort(self, txn_id: int) -> None:
+        """Discard the chain of an aborting transaction and free its blocks."""
+        chain = self._uncommitted.pop(txn_id, None)
+        if chain is None:
+            return
+        self._free_chain(chain)
+        self.aborts += 1
+
+    def _free_chain(self, chain: TransactionLogChain) -> None:
+        for block in chain.blocks:
+            self.stable.release(f"slb-block-{block.block_id}")
+
+    def truncate_chain(self, txn_id: int, keep_records: int) -> int:
+        """Discard a chain's records beyond the first ``keep_records``.
+
+        Used by statement-level rollback: a failed operation's REDO
+        records must leave the stable chain, or replay after a later
+        commit would reapply work the statement rolled back.  Returns the
+        number of records removed.
+        """
+        chain = self._require_open(txn_id)
+        if keep_records < 0:
+            raise ValueError("keep_records cannot be negative")
+        if keep_records >= chain.record_count:
+            return 0
+        kept = list(chain.records())[:keep_records]
+        removed = chain.record_count - keep_records
+        self._free_chain(chain)
+        chain.blocks = []
+        chain.record_count = 0
+        for record in kept:
+            if not chain.fits_in_current(record):
+                self._allocate_block(chain)
+            chain.append_to_current(record)
+        self.records_written -= removed
+        return removed
+
+    # -- recovery-CPU drain ------------------------------------------------------------
+
+    def committed_record_count(self) -> int:
+        return sum(chain.record_count for chain in self._committed)
+
+    def drain_committed(self, max_records: int | None = None) -> list[RedoRecord]:
+        """Remove and return committed records in commit order.
+
+        The recovery CPU calls this to feed the Stable Log Tail.  Blocks
+        are freed as their chains are fully consumed.  ``max_records``
+        bounds one drain step so the simulation can interleave work.
+        """
+        drained: list[RedoRecord] = []
+        while self._committed:
+            chain = self._committed[0]
+            remaining = None if max_records is None else max_records - len(drained)
+            if remaining is not None and remaining <= 0:
+                break
+            records = list(chain.records())
+            if remaining is not None and len(records) > remaining:
+                # Partially drain the head chain: keep the tail records.
+                drained.extend(records[:remaining])
+                self._retain_tail(chain, records[remaining:])
+                break
+            drained.extend(records)
+            self._committed.pop(0)
+            self._free_chain(chain)
+        return drained
+
+    def _retain_tail(self, chain: TransactionLogChain, tail: list[RedoRecord]) -> None:
+        """Rebuild the head chain to contain only its undrained records."""
+        self._free_chain(chain)
+        chain.blocks = []
+        chain.record_count = 0
+        for record in tail:
+            if not chain.fits_in_current(record):
+                self._allocate_block(chain)
+            chain.append_to_current(record)
+
+    # -- crash behaviour -----------------------------------------------------------------
+
+    def discard_uncommitted(self) -> int:
+        """Post-crash policy: drop chains of transactions that never
+        committed.  Returns the number of chains discarded."""
+        count = len(self._uncommitted)
+        for chain in self._uncommitted.values():
+            self._free_chain(chain)
+        self._uncommitted.clear()
+        return count
+
+    # -- well-known communication areas -----------------------------------------------------
+
+    def put_well_known(self, key: str, value: object) -> None:
+        """Store a value in the SLB's well-known area (survives crashes)."""
+        self._well_known[key] = value
+
+    def get_well_known(self, key: str, default: object = None) -> object:
+        return self._well_known.get(key, default)
+
+    # -- inspection ---------------------------------------------------------------------------
+
+    @property
+    def uncommitted_txn_ids(self) -> list[int]:
+        return sorted(self._uncommitted)
+
+    @property
+    def committed_chain_count(self) -> int:
+        return len(self._committed)
+
+    def used_blocks(self) -> int:
+        return sum(
+            len(chain.blocks) for chain in self._uncommitted.values()
+        ) + sum(len(chain.blocks) for chain in self._committed)

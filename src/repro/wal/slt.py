@@ -1,0 +1,272 @@
+"""The Stable Log Tail (SLT): per-partition bins in stable memory.
+
+Section 2.3.3: the recovery CPU reads committed log records from the SLB
+and *sorts* them into partition bins here.  Each partition has a small
+permanent information block (we follow the paper's "simplicity in design"
+choice of one entry per existing partition); only *active* partitions —
+those with outstanding log information — hold the much larger log page
+buffer.
+
+The information block holds exactly the four entries of the paper:
+
+* **Partition Address** — stamped on every log page (consistency check).
+* **Update Count** — records accumulated since the last checkpoint;
+  crossing the threshold marks the partition for an update-count
+  checkpoint.
+* **LSN of First Log Page** — age monitor; the recovery manager keeps an
+  ordered First-LSN list and checks only its head when the log window
+  advances.
+* **Log Page Directory** — LSNs of the current group of log pages.  When a
+  group fills (``directory_size`` pages), the next page embeds the full
+  group's directory and starts a new group, so recovery can reach the
+  first page in about ``#pages / N`` reads and then stream pages in the
+  order they were written.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.common.config import SystemConfig
+from repro.common.errors import LogError
+from repro.common.types import NULL_LSN, PartitionAddress
+from repro.sim.stable_memory import StableMemory
+from repro.wal.log_disk import LogPage
+from repro.wal.records import RedoRecord
+
+#: Stable bytes for one permanent partition information block ("on the
+#: order of 50 bytes", section 2.3.3).
+INFO_BLOCK_BYTES = 50
+
+
+class CheckpointReason:
+    UPDATE_COUNT = "update-count"
+    AGE = "age"
+
+
+@dataclass
+class PartitionBin:
+    """One partition's bin: information block plus (when active) a page
+    buffer of not-yet-flushed records."""
+
+    bin_index: int
+    partition: PartitionAddress
+    update_count: int = 0
+    first_page_lsn: int = NULL_LSN
+    #: LSNs of the current directory group, oldest first (≤ directory_size).
+    directory: list[int] = field(default_factory=list)
+    #: Total pages flushed to the log disk since the last checkpoint.
+    flushed_pages: int = 0
+    buffer: list[RedoRecord] = field(default_factory=list)
+    buffer_bytes: int = 0
+    marked_for_checkpoint: bool = False
+    checkpoint_reason: str | None = None
+
+    @property
+    def active(self) -> bool:
+        """Active = has outstanding log information (section 2.3.3)."""
+        return bool(self.buffer) or self.flushed_pages > 0
+
+    @property
+    def oldest_lsn(self) -> int:
+        return self.first_page_lsn
+
+
+class StableLogTail:
+    """The bin table, living in stable reliable memory."""
+
+    def __init__(self, stable: StableMemory, config: SystemConfig):
+        self.stable = stable
+        self.config = config
+        self._bins: dict[int, PartitionBin] = {}
+        self._by_partition: dict[PartitionAddress, int] = {}
+        self._next_bin_index = 0
+        #: First-LSN min-heap with lazy invalidation: (first_lsn, bin_index).
+        self._first_lsn_heap: list[tuple[int, int]] = []
+        self._well_known: dict[str, object] = {}
+        self.stable.allocate("slt-well-known", 16 * 1024, self._well_known)
+        # statistics
+        self.records_binned = 0
+        self.pages_sealed = 0
+
+    # -- registration --------------------------------------------------------------
+
+    def register_partition(self, partition: PartitionAddress) -> int:
+        """Create the permanent information block for a new partition."""
+        if partition in self._by_partition:
+            raise LogError(f"{partition} already has a bin")
+        bin_index = self._next_bin_index
+        self._next_bin_index += 1
+        self.stable.allocate(f"slt-info-{bin_index}", INFO_BLOCK_BYTES)
+        bin_ = PartitionBin(bin_index, partition)
+        self._bins[bin_index] = bin_
+        self._by_partition[partition] = bin_index
+        return bin_index
+
+    def drop_partition(self, partition: PartitionAddress) -> None:
+        """Remove a de-allocated partition's bin entirely."""
+        bin_index = self.bin_index_of(partition)
+        bin_ = self._bins.pop(bin_index)
+        del self._by_partition[partition]
+        self.stable.release(f"slt-info-{bin_index}")
+        if f"slt-page-{bin_index}" in self.stable:
+            self.stable.release(f"slt-page-{bin_index}")
+        bin_.buffer.clear()
+
+    # -- lookup -----------------------------------------------------------------------
+
+    def bin(self, bin_index: int) -> PartitionBin:
+        try:
+            return self._bins[bin_index]
+        except KeyError:
+            raise LogError(f"no partition bin {bin_index}") from None
+
+    def bin_index_of(self, partition: PartitionAddress) -> int:
+        try:
+            return self._by_partition[partition]
+        except KeyError:
+            raise LogError(f"{partition} has no bin") from None
+
+    def bin_for_partition(self, partition: PartitionAddress) -> PartitionBin:
+        return self.bin(self.bin_index_of(partition))
+
+    def has_partition(self, partition: PartitionAddress) -> bool:
+        return partition in self._by_partition
+
+    def bins(self) -> list[PartitionBin]:
+        return [self._bins[i] for i in sorted(self._bins)]
+
+    def active_bins(self) -> list[PartitionBin]:
+        return [b for b in self.bins() if b.active]
+
+    # -- the sorting step ----------------------------------------------------------------
+
+    def deposit(self, record: RedoRecord) -> bool:
+        """Place one committed record into its partition bin.
+
+        The bin index travels inside the record (direct index — no search,
+        section 2.3.2).  Returns True when the bin's page buffer became
+        full, i.e. the caller (recovery processor) should seal and flush a
+        page.
+        """
+        bin_ = self.bin(record.bin_index)
+        if bin_.partition != record.partition_address:
+            raise LogError(
+                f"record for {record.partition_address} carries bin index "
+                f"{record.bin_index} of {bin_.partition}"
+            )
+        if not bin_.buffer and f"slt-page-{bin_.bin_index}" not in self.stable:
+            # Partition becomes active: allocate its page buffer.
+            self.stable.allocate(
+                f"slt-page-{bin_.bin_index}", self.config.log_page_size
+            )
+        bin_.buffer.append(record)
+        bin_.buffer_bytes += record.size_bytes
+        bin_.update_count += 1
+        self.records_binned += 1
+        return bin_.buffer_bytes >= self.config.log_page_size
+
+    def seal_page(self, bin_index: int) -> LogPage:
+        """Turn the bin's buffered records into a flushable log page.
+
+        If the current directory group is full, the new page embeds that
+        group's directory and will start a new group once its LSN is known.
+        """
+        bin_ = self.bin(bin_index)
+        if not bin_.buffer:
+            raise LogError(f"bin {bin_index} has nothing to seal")
+        embedded = (
+            list(bin_.directory)
+            if len(bin_.directory) >= self.config.log_directory_size
+            else []
+        )
+        page = LogPage(
+            partition=bin_.partition,
+            records=list(bin_.buffer),
+            embedded_directory=embedded,
+        )
+        bin_.buffer.clear()
+        bin_.buffer_bytes = 0
+        self.pages_sealed += 1
+        return page
+
+    def note_page_written(self, bin_index: int, lsn: int) -> None:
+        """Record a flushed page: update the directory, first-LSN monitor,
+        and the First-LSN list used for age triggers."""
+        bin_ = self.bin(bin_index)
+        if bin_.first_page_lsn == NULL_LSN:
+            bin_.first_page_lsn = lsn
+            heapq.heappush(self._first_lsn_heap, (lsn, bin_index))
+        if len(bin_.directory) >= self.config.log_directory_size:
+            bin_.directory = [lsn]  # the page embedded the previous group
+        else:
+            bin_.directory.append(lsn)
+        bin_.flushed_pages += 1
+
+    # -- checkpoint triggers -----------------------------------------------------------------
+
+    def update_count_candidates(self) -> list[PartitionBin]:
+        """Bins whose update count crossed the threshold and are not yet
+        marked for a checkpoint."""
+        threshold = self.config.update_count_threshold
+        return [
+            b
+            for b in self.bins()
+            if not b.marked_for_checkpoint and b.update_count >= threshold
+        ]
+
+    def age_candidates(self, age_trigger_lsn: int) -> list[PartitionBin]:
+        """Bins whose first log page is about to fall off the log window.
+
+        Only the heap head needs inspection per advance (section 2.3.3);
+        stale heap entries (already checkpointed) are discarded lazily.
+        """
+        candidates = []
+        while self._first_lsn_heap:
+            lsn, bin_index = self._first_lsn_heap[0]
+            bin_ = self._bins.get(bin_index)
+            if bin_ is None or bin_.first_page_lsn != lsn:
+                heapq.heappop(self._first_lsn_heap)  # stale entry
+                continue
+            if lsn >= age_trigger_lsn:
+                break
+            heapq.heappop(self._first_lsn_heap)
+            if not bin_.marked_for_checkpoint:
+                candidates.append(bin_)
+        return candidates
+
+    def mark_for_checkpoint(self, bin_index: int, reason: str) -> None:
+        bin_ = self.bin(bin_index)
+        bin_.marked_for_checkpoint = True
+        bin_.checkpoint_reason = reason
+
+    def reset_after_checkpoint(self, bin_index: int) -> list[RedoRecord]:
+        """Complete a checkpoint: the bin's log information is no longer
+        needed for memory recovery.
+
+        Returns the leftover buffered records; the caller flushes them to
+        the log disk (combined into full archive pages) because they are
+        still needed for media recovery (section 2.4).
+        """
+        bin_ = self.bin(bin_index)
+        leftovers = list(bin_.buffer)
+        bin_.buffer.clear()
+        bin_.buffer_bytes = 0
+        bin_.update_count = 0
+        bin_.first_page_lsn = NULL_LSN
+        bin_.directory = []
+        bin_.flushed_pages = 0
+        bin_.marked_for_checkpoint = False
+        bin_.checkpoint_reason = None
+        if f"slt-page-{bin_index}" in self.stable:
+            self.stable.release(f"slt-page-{bin_index}")
+        return leftovers
+
+    # -- well-known area (catalog address list duplicate, section 2.5) -------------------------
+
+    def put_well_known(self, key: str, value: object) -> None:
+        self._well_known[key] = value
+
+    def get_well_known(self, key: str, default: object = None) -> object:
+        return self._well_known.get(key, default)

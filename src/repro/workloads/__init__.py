@@ -1,0 +1,24 @@
+"""Workload generators for the examples and benchmarks.
+
+* :mod:`repro.workloads.distributions` — deterministic uniform / Zipf
+  access-skew generators.
+* :mod:`repro.workloads.debit_credit` — Gray's debit/credit workload
+  (the paper's reference transaction: about four log records each).
+* :mod:`repro.workloads.generator` — a generic mixed-operation driver.
+"""
+
+from repro.workloads.distributions import UniformPicker, ZipfPicker
+from repro.workloads.debit_credit import DebitCreditWorkload
+from repro.workloads.generator import MixedWorkload, OperationMix
+from repro.workloads.trace import Trace, TraceRecorder, replay_trace
+
+__all__ = [
+    "DebitCreditWorkload",
+    "MixedWorkload",
+    "OperationMix",
+    "Trace",
+    "TraceRecorder",
+    "UniformPicker",
+    "ZipfPicker",
+    "replay_trace",
+]

@@ -1,0 +1,200 @@
+"""Replayable operation traces.
+
+A :class:`TraceRecorder` wraps a relation and writes every successful
+operation (with its transaction boundaries) to a JSON-serialisable trace;
+:func:`replay_trace` re-executes a trace against a fresh database.  Two
+uses:
+
+* **debugging** — capture the exact operation sequence that produced a
+  state, replay it deterministically elsewhere;
+* **crash-point bisection** — replay a prefix of the trace, crash, and
+  recover; the recovered state must equal replaying the same prefix
+  without a crash (used by the trace tests as yet another recovery
+  oracle).
+
+Traces identify tuples by primary key, not by entity address, so they
+replay on any database with a compatible schema.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.database import Database
+    from repro.db.relation import Relation
+    from repro.txn.transaction import Transaction
+
+
+class TraceError(ReproError):
+    """A trace could not be replayed (schema mismatch, bad event)."""
+
+
+@dataclass
+class Trace:
+    """An ordered list of committed-transaction event groups."""
+
+    relation: str
+    schema: list[list[str]]
+    primary_key: str
+    transactions: list[list[dict]] = field(default_factory=list)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "relation": self.relation,
+                "schema": self.schema,
+                "primary_key": self.primary_key,
+                "transactions": self.transactions,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        doc = json.loads(text)
+        return cls(
+            relation=doc["relation"],
+            schema=doc["schema"],
+            primary_key=doc["primary_key"],
+            transactions=doc["transactions"],
+        )
+
+    @property
+    def operation_count(self) -> int:
+        return sum(len(group) for group in self.transactions)
+
+
+class TraceRecorder:
+    """Records operations against one relation, grouped by transaction."""
+
+    def __init__(self, relation: "Relation"):
+        self.relation = relation
+        descriptor = relation.descriptor
+        self.trace = Trace(
+            relation=relation.name,
+            schema=[[f.name, f.type.value] for f in descriptor.schema],
+            primary_key=descriptor.primary_key,
+        )
+        self._current: list[dict] | None = None
+
+    # -- transaction grouping -------------------------------------------------
+
+    def begin(self) -> None:
+        if self._current is not None:
+            raise TraceError("previous trace transaction still open")
+        self._current = []
+
+    def commit(self) -> None:
+        if self._current is None:
+            raise TraceError("no open trace transaction")
+        self.trace.transactions.append(self._current)
+        self._current = None
+
+    def rollback(self) -> None:
+        """Discard the open group (the transaction aborted)."""
+        self._current = None
+
+    # -- recorded operations -----------------------------------------------------
+
+    def _event(self, event: dict) -> None:
+        if self._current is None:
+            raise TraceError("operation recorded outside a trace transaction")
+        self._current.append(event)
+
+    def insert(self, txn: "Transaction", row: dict):
+        address = self.relation.insert(txn, row)
+        self._event({"op": "insert", "row": _encode_row(row)})
+        return address
+
+    def update(self, txn: "Transaction", key, changes: dict) -> None:
+        row = self.relation.lookup(txn, key)
+        if row is None:
+            raise TraceError(f"update of missing key {key!r}")
+        self.relation.update(txn, row.address, changes)
+        self._event({"op": "update", "key": key, "changes": _encode_row(changes)})
+
+    def delete(self, txn: "Transaction", key) -> None:
+        row = self.relation.lookup(txn, key)
+        if row is None:
+            raise TraceError(f"delete of missing key {key!r}")
+        self.relation.delete(txn, row.address)
+        self._event({"op": "delete", "key": key})
+
+
+def replay_trace(
+    db: "Database",
+    trace: Trace,
+    *,
+    transactions: int | None = None,
+    create_relation: bool = True,
+) -> int:
+    """Re-execute a trace; returns the number of transactions replayed.
+
+    ``transactions`` bounds the replay to a prefix (crash-point
+    bisection); ``create_relation=False`` replays onto an existing,
+    schema-compatible relation.
+    """
+    if create_relation:
+        relation = db.create_relation(
+            trace.relation,
+            [(name, type_name) for name, type_name in trace.schema],
+            primary_key=trace.primary_key,
+        )
+    else:
+        relation = db.table(trace.relation)
+        actual = [[f.name, f.type.value] for f in relation.descriptor.schema]
+        if actual != trace.schema:
+            raise TraceError(
+                f"schema mismatch: trace {trace.schema} vs relation {actual}"
+            )
+    limit = len(trace.transactions) if transactions is None else transactions
+    replayed = 0
+    for group in trace.transactions[:limit]:
+        with db.transaction() as txn:
+            for event in group:
+                _apply_event(relation, txn, event)
+        replayed += 1
+    return replayed
+
+
+def _apply_event(relation: "Relation", txn: "Transaction", event: dict) -> None:
+    op = event.get("op")
+    if op == "insert":
+        relation.insert(txn, _decode_row(relation, event["row"]))
+    elif op == "update":
+        row = relation.lookup(txn, event["key"])
+        if row is None:
+            raise TraceError(f"replay: missing key {event['key']!r}")
+        relation.update(txn, row.address, _decode_row(relation, event["changes"]))
+    elif op == "delete":
+        row = relation.lookup(txn, event["key"])
+        if row is None:
+            raise TraceError(f"replay: missing key {event['key']!r}")
+        relation.delete(txn, row.address)
+    else:
+        raise TraceError(f"unknown trace event {op!r}")
+
+
+def _encode_row(row: dict) -> dict:
+    out = {}
+    for key, value in row.items():
+        if isinstance(value, bytes):
+            out[key] = {"__bytes__": value.hex()}
+        else:
+            out[key] = value
+    return out
+
+
+def _decode_row(relation: "Relation", row: dict) -> dict:
+    out = {}
+    for key, value in row.items():
+        if isinstance(value, dict) and "__bytes__" in value:
+            out[key] = bytes.fromhex(value["__bytes__"])
+        else:
+            out[key] = value
+    return out

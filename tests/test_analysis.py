@@ -1,0 +1,213 @@
+"""Tests for the Section 3 analytic models and their paper-shape claims."""
+
+import pytest
+
+from repro.analysis import CheckpointModel, LoggingModel, RecoveryModel, table2_rows
+from repro.common.config import AnalysisParameters, DiskParameters
+
+
+class TestLoggingModel:
+    def test_headline_capacity_matches_paper(self):
+        """Section 3.2: ~4,000 debit/credit transactions per second at
+        four log records per transaction."""
+        model = LoggingModel()
+        tps = model.transactions_per_second(4)
+        assert 3500 <= tps <= 5000
+
+    def test_capacity_falls_with_record_size(self):
+        sizes = [8, 16, 24, 32, 48, 64]
+        rates = [LoggingModel(log_record_size=s).records_per_second for s in sizes]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_capacity_mildly_sensitive_to_page_size(self):
+        """Graph 1's page-size series sit close together: an 8x page-size
+        change moves capacity by only ~10% (page-write amortisation)."""
+        r2k = LoggingModel(log_page_size=2048).records_per_second
+        r16k = LoggingModel(log_page_size=16 * 1024).records_per_second
+        assert r16k > r2k  # bigger pages amortise the write cost better
+        assert abs(r2k - r16k) / r16k < 0.15
+
+    def test_byte_rate_grows_with_record_size(self):
+        b8 = LoggingModel(log_record_size=8).bytes_per_second
+        b64 = LoggingModel(log_record_size=64).bytes_per_second
+        assert b64 > b8
+
+    def test_faster_cpu_scales_linearly(self):
+        slow = LoggingModel()
+        fast = LoggingModel(params=AnalysisParameters(p_recovery_mips=2.0))
+        assert fast.records_per_second == pytest.approx(2 * slow.records_per_second)
+
+    def test_transactions_per_second_inverse_in_records(self):
+        model = LoggingModel()
+        assert model.transactions_per_second(20) == pytest.approx(
+            model.transactions_per_second(4) / 5
+        )
+
+    def test_invalid_records_per_transaction(self):
+        with pytest.raises(ValueError):
+            LoggingModel().transactions_per_second(0)
+
+    def test_graph_series_shapes(self):
+        g1 = LoggingModel.graph1_series([8, 24, 64], [2048, 8192])
+        assert set(g1) == {2048, 8192}
+        assert all(len(points) == 3 for points in g1.values())
+        g2 = LoggingModel.graph2_series([8, 24], [2, 4, 10, 20])
+        assert set(g2) == {2, 4, 10, 20}
+
+
+class TestCheckpointModel:
+    def test_best_case_amortisation(self):
+        model = CheckpointModel()
+        assert model.best_case_rate(10_000) == pytest.approx(10.0)
+
+    def test_worst_case_one_page_per_checkpoint(self):
+        model = CheckpointModel()
+        expected = 10_000 * 24 / 8192
+        assert model.worst_case_rate(10_000) == pytest.approx(expected)
+
+    def test_mix_interpolates(self):
+        model = CheckpointModel()
+        rate = 10_000
+        mixed = model.rate(rate, 0.5)
+        assert model.best_case_rate(rate) < mixed < model.worst_case_rate(rate)
+
+    def test_rate_linear_in_logging_rate(self):
+        model = CheckpointModel()
+        assert model.rate(20_000, 0.6) == pytest.approx(2 * model.rate(10_000, 0.6))
+
+    def test_larger_update_count_lowers_rate(self):
+        small = CheckpointModel(update_count=1000)
+        large = CheckpointModel(update_count=2000)
+        assert large.rate(10_000, 1.0) < small.rate(10_000, 1.0)
+
+    def test_paper_overhead_claim(self):
+        """Section 3.3: 60% update-count triggers, 10 records/transaction
+        => checkpoint transactions ~1.5% of total load."""
+        model = CheckpointModel()
+        overhead = model.overhead_fraction(1000, 10, 0.6)
+        assert 0.01 <= overhead <= 0.025
+
+    def test_fewer_records_per_txn_lower_overhead(self):
+        model = CheckpointModel()
+        assert model.overhead_fraction(1000, 4, 0.6) < model.overhead_fraction(
+            1000, 10, 0.6
+        )
+
+    def test_minimum_window_claim(self):
+        model = CheckpointModel()
+        pages = model.minimum_log_window_pages(active_partitions=100)
+        assert pages == pytest.approx(100 * 1000 * 24 / 8192)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointModel().rate(1000, 1.5)
+
+    def test_graph3_series(self):
+        series = CheckpointModel.graph3_series(
+            [1000.0, 5000.0], [(1000, 1.0), (1000, 0.0)]
+        )
+        perfect = series[(1000, 1.0)]
+        aged = series[(1000, 0.0)]
+        assert aged[0][1] > perfect[0][1]  # age triggers cost more
+
+
+class TestRecoveryModel:
+    def test_backward_reads_scale_inversely_with_directory(self):
+        small = RecoveryModel(directory_size=4)
+        large = RecoveryModel(directory_size=16)
+        assert small.backward_reads(32) > large.backward_reads(32)
+        assert large.backward_reads(8) == 0
+
+    def test_partition_time_grows_with_log_pages(self):
+        model = RecoveryModel()
+        times = [model.partition_recovery_seconds(p) for p in (0, 2, 8, 32)]
+        assert times == sorted(times)
+
+    def test_image_read_floor(self):
+        model = RecoveryModel()
+        floor = model.checkpoint_disk.track_read_time(model.partition_size)
+        assert model.partition_recovery_seconds(0) == pytest.approx(floor)
+
+    def test_partition_level_beats_full_reload_for_small_working_set(self):
+        """The section 3.4 claim: first transaction runs orders of
+        magnitude sooner under partition-level recovery."""
+        model = RecoveryModel()
+        total_partitions, total_pages = 2000, 4000
+        partition_level = model.time_to_first_transaction(
+            3, 2, total_partitions, total_pages, partition_level=True
+        )
+        database_level = model.time_to_first_transaction(
+            3, 2, total_partitions, total_pages, partition_level=False
+        )
+        assert database_level / partition_level > 50
+
+    def test_database_level_is_giant_partition(self):
+        """Full reload time approaches a single huge partition's time."""
+        model = RecoveryModel()
+        db_time = model.database_recovery_seconds(100, 0)
+        streamed = (
+            model.checkpoint_disk.avg_seek_s
+            + model.checkpoint_disk.rotational_latency_s
+            + 100 * model.partition_size / model.checkpoint_disk.track_transfer_rate
+        )
+        assert db_time == pytest.approx(streamed)
+
+    def test_relation_time_is_sum(self):
+        model = RecoveryModel()
+        assert model.relation_recovery_seconds([2, 2]) == pytest.approx(
+            2 * model.partition_recovery_seconds(2)
+        )
+
+
+class TestTable2:
+    def test_static_rows_match_paper(self):
+        rows = {row.name: row for row in table2_rows()}
+        assert rows["I_record_lookup"].value == 20
+        assert rows["I_copy_fixed"].value == 3
+        assert rows["I_copy_add"].value == 0.125
+        assert rows["I_write_init"].value == 500
+        assert rows["I_page_alloc"].value == 100
+        assert rows["I_page_update"].value == 10
+        assert rows["I_page_check"].value == 10
+        assert rows["I_process_LSN"].value == 40
+        assert rows["I_checkpoint"].value == 40
+        assert rows["S_log_record"].value == 24
+        assert rows["S_log_page"].value == 8192
+        assert rows["S_partition"].value == 48 * 1024
+        assert rows["N_update"].value == 1000
+        assert rows["P_recovery"].value == 1.0
+
+    def test_calculated_rows_flagged(self):
+        calculated = {row.name for row in table2_rows() if row.calculated}
+        assert calculated == {
+            "I_record_sort",
+            "I_page_write",
+            "N_log_pages",
+            "R_bytes_logged",
+            "R_records_logged",
+            "R_checkpoint",
+        }
+
+    def test_calculated_values_consistent_with_model(self):
+        rows = {row.name: row for row in table2_rows()}
+        model = LoggingModel()
+        assert rows["I_record_sort"].value == pytest.approx(
+            model.instructions_per_record
+        )
+        assert rows["R_records_logged"].value == pytest.approx(
+            model.records_per_second
+        )
+
+    def test_formatted_renders(self):
+        for row in table2_rows():
+            text = row.formatted()
+            assert row.name in text
+            assert row.units in text
+
+
+class TestDiskParametersShape:
+    def test_reconstructed_disk_is_1987_plausible(self):
+        disk = DiskParameters()
+        # a 48KB partition track read lands in the tens of milliseconds
+        t = disk.track_read_time(48 * 1024)
+        assert 0.02 < t < 0.1

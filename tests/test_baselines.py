@@ -1,0 +1,130 @@
+"""Tests for the baseline recovery designs."""
+
+import pytest
+
+from repro import Database, RecoveryMode, SystemConfig
+from repro.baselines import (
+    CommitProtocolModel,
+    WholeDatabaseCheckpointer,
+    full_reload_restart,
+)
+
+
+def loaded_db():
+    db = Database(SystemConfig(log_page_size=1024))
+    rel = db.create_relation("items", [("id", "int"), ("v", "int")], primary_key="id")
+    addrs = {}
+    with db.transaction() as txn:
+        for i in range(50):
+            addrs[i] = rel.insert(txn, {"id": i, "v": i})
+    return db, rel, addrs
+
+
+class TestWholeDatabaseCheckpointer:
+    def test_sweep_writes_every_partition(self):
+        db, rel, addrs = loaded_db()
+        db.recovery_processor.run_until_drained()
+        sweeper = WholeDatabaseCheckpointer(db)
+        seconds = sweeper.checkpoint_all()
+        assert seconds > 0
+        assert sweeper.partitions_written == db.memory.resident_partition_count()
+
+    def test_sweep_resets_all_bins(self):
+        db, rel, addrs = loaded_db()
+        db.recovery_processor.run_until_drained()
+        WholeDatabaseCheckpointer(db).checkpoint_all()
+        assert db.slt.active_bins() == []
+
+    def test_recovery_after_sweep(self):
+        db, rel, addrs = loaded_db()
+        db.recovery_processor.run_until_drained()
+        WholeDatabaseCheckpointer(db).checkpoint_all()
+        with db.transaction() as txn:
+            rel.update(txn, addrs[3], {"v": 999})
+        db.crash()
+        db.restart(RecoveryMode.EAGER)
+        with db.transaction() as txn:
+            t = db.table("items")
+            assert t.lookup(txn, 3)["v"] == 999
+            assert t.lookup(txn, 10)["v"] == 10
+
+    def test_sweep_cost_exceeds_single_partition_checkpoint(self):
+        """The design point: whole-DB checkpoints pay for everything every
+        time, per-partition checkpoints pay for one partition."""
+        db, rel, addrs = loaded_db()
+        db.recovery_processor.run_until_drained()
+        sweeper = WholeDatabaseCheckpointer(db)
+        sweep_seconds = sweeper.checkpoint_all()
+        per_partition_seconds = sweep_seconds / sweeper.partitions_written
+        assert sweep_seconds > 2 * per_partition_seconds
+
+
+class TestFullReloadRestart:
+    def test_reports_timing_and_restores(self):
+        db, rel, addrs = loaded_db()
+        db.crash()
+        result = full_reload_restart(db)
+        assert result["seconds_to_first_transaction"] > 0
+        assert result["partitions_recovered"] > 0
+        with db.transaction() as txn:
+            assert db.table("items").count(txn) == 50
+
+    @staticmethod
+    def _db_with_cold_bulk():
+        db, rel, addrs = loaded_db()
+        bulk = db.create_relation(
+            "bulk", [("id", "int"), ("pad", "str")], primary_key="id"
+        )
+        with db.transaction() as txn:
+            for i in range(400):
+                bulk.insert(txn, {"id": i, "pad": "z" * 200})
+        return db
+
+    def test_full_reload_slower_to_first_txn_than_on_demand(self):
+        # measure full reload (everything, including the cold bulk data)
+        db1 = self._db_with_cold_bulk()
+        db1.crash()
+        full = full_reload_restart(db1)["seconds_to_first_transaction"]
+        # measure on-demand first-transaction latency on identical state
+        db2 = self._db_with_cold_bulk()
+        db2.crash()
+        start = db2.clock.now
+        db2.restart(RecoveryMode.ON_DEMAND)
+        with db2.transaction(pump=False) as txn:
+            assert db2.table("items").lookup(txn, 1) is not None
+        on_demand = db2.clock.now - start
+        assert on_demand < full
+
+
+class TestCommitProtocolModel:
+    def test_stable_ram_commit_is_fastest(self):
+        model = CommitProtocolModel()
+        assert model.stable_ram_commit_latency() < model.sync_wal_commit_latency()
+        assert model.stable_ram_commit_rate() > model.group_commit_rate()
+
+    def test_group_commit_beats_sync_wal_throughput(self):
+        model = CommitProtocolModel()
+        assert model.group_commit_rate() > model.sync_wal_commit_rate()
+
+    def test_group_commit_latency_penalty_at_low_rates(self):
+        model = CommitProtocolModel()
+        slow_arrivals = model.group_commit_latency(arrival_rate=10)
+        fast_arrivals = model.group_commit_latency(arrival_rate=10_000)
+        assert slow_arrivals > fast_arrivals
+        assert slow_arrivals > model.sync_wal_commit_latency()
+
+    def test_group_size_from_page_fill(self):
+        model = CommitProtocolModel(log_page_size=8192, log_record_size=24,
+                                    records_per_transaction=4)
+        assert model.group_size() == 8192 // 96
+
+    def test_comparison_rows(self):
+        rows = CommitProtocolModel().comparison()
+        protocols = [row["protocol"] for row in rows]
+        assert protocols == ["stable-ram-instant", "group-commit", "sync-wal"]
+        latencies = [row["commit_latency_s"] for row in rows]
+        assert latencies[0] < latencies[2]
+
+    def test_invalid_arrival_rate(self):
+        with pytest.raises(ValueError):
+            CommitProtocolModel().group_commit_latency(0)

@@ -1,0 +1,208 @@
+"""Tests for checkpoint triggering, the request protocol, and the disk queue."""
+
+import pytest
+
+from repro import Database, SystemConfig
+from repro.checkpoint.disk_queue import CheckpointDiskQueue
+from repro.checkpoint.protocol import RequestState
+from repro.common import CheckpointError
+from repro.common.config import DiskParameters
+from repro.sim import SimulatedDisk, VirtualClock
+from repro.wal.slt import CheckpointReason
+
+
+def config(**kwargs):
+    defaults = dict(
+        log_page_size=1024,
+        update_count_threshold=30,
+        log_window_pages=64,
+        log_window_grace_pages=8,
+    )
+    defaults.update(kwargs)
+    return SystemConfig(**defaults)
+
+
+def loaded_db(cfg=None):
+    db = Database(cfg or config())
+    rel = db.create_relation("items", [("id", "int"), ("v", "int")], primary_key="id")
+    addrs = {}
+    with db.transaction() as txn:
+        for i in range(30):
+            addrs[i] = rel.insert(txn, {"id": i, "v": 0})
+    return db, rel, addrs
+
+
+class TestUpdateCountTrigger:
+    def test_threshold_fires_checkpoint(self):
+        db, rel, addrs = loaded_db()
+        for round_ in range(5):
+            with db.transaction() as txn:
+                for i in range(30):
+                    rel.update(txn, addrs[i], {"v": round_})
+        assert db.checkpoints.checkpoints_taken > 0
+
+    def test_checkpoint_resets_update_count(self):
+        db, rel, addrs = loaded_db()
+        for round_ in range(5):
+            with db.transaction() as txn:
+                for i in range(30):
+                    rel.update(txn, addrs[i], {"v": round_})
+        seg = db.catalog.relation("items").segment_id
+        for bin_ in db.slt.bins():
+            if bin_.partition.segment == seg:
+                assert bin_.update_count < 2 * db.config.update_count_threshold
+
+    def test_checkpoint_installs_disk_slot(self):
+        db, rel, addrs = loaded_db()
+        for round_ in range(6):
+            with db.transaction() as txn:
+                for i in range(30):
+                    rel.update(txn, addrs[i], {"v": round_})
+        descriptor = db.catalog.relation("items")
+        slots = [info.checkpoint_slot for info in descriptor.partitions.values()]
+        assert any(slot is not None for slot in slots)
+
+
+class TestAgeTrigger:
+    def test_aged_partition_checkpointed(self):
+        # tiny window: pages age out fast; cold partition gets caught
+        cfg = config(
+            update_count_threshold=100000,  # never by update count
+            log_window_pages=12,
+            log_window_grace_pages=6,
+        )
+        db, rel, addrs = loaded_db(cfg)
+        # one early write to the cold row, then hammer the others
+        with db.transaction() as txn:
+            rel.update(txn, addrs[0], {"v": -1})
+        for round_ in range(40):
+            with db.transaction() as txn:
+                for i in range(1, 30):
+                    rel.update(txn, addrs[i], {"v": round_})
+        reasons = {
+            req.reason for req in db.checkpoint_queue._entries()
+        } | ({CheckpointReason.AGE} if db.checkpoints.checkpoints_taken else set())
+        assert db.checkpoints.checkpoints_taken > 0 or CheckpointReason.AGE in reasons
+
+
+class TestRequestProtocol:
+    def test_duplicate_requests_coalesce(self):
+        db, rel, addrs = loaded_db()
+        db.recovery_processor.run_until_drained()
+        bin_ = next(b for b in db.slt.bins() if b.active)
+        db.checkpoint_queue.submit(bin_.partition, bin_.bin_index, "t")
+        db.checkpoint_queue.submit(bin_.partition, bin_.bin_index, "t")
+        assert len(db.checkpoint_queue) == 1
+
+    def test_state_transitions(self):
+        db, rel, addrs = loaded_db()
+        db.recovery_processor.run_until_drained()
+        bin_ = next(b for b in db.slt.bins() if b.active)
+        db.slt.mark_for_checkpoint(bin_.bin_index, "t")
+        db.checkpoint_queue.submit(bin_.partition, bin_.bin_index, "t")
+        request = db.checkpoint_queue.pending()[0]
+        assert request.state is RequestState.REQUEST
+        db.checkpoints.process_pending()
+        assert request.state is RequestState.FINISHED
+        db.recovery_processor.acknowledge_finished()
+        assert len(db.checkpoint_queue) == 0
+
+    def test_revert_in_progress(self):
+        db, rel, addrs = loaded_db()
+        db.recovery_processor.run_until_drained()
+        bin_ = next(b for b in db.slt.bins() if b.active)
+        db.checkpoint_queue.submit(bin_.partition, bin_.bin_index, "t")
+        request = db.checkpoint_queue.pending()[0]
+        request.state = RequestState.IN_PROGRESS
+        assert db.checkpoint_queue.revert_in_progress() == 1
+        assert request.state is RequestState.REQUEST
+
+    def test_leftover_records_flushed_to_archive(self):
+        db, rel, addrs = loaded_db()
+        # produce partial-page leftovers, then checkpoint everything
+        with db.transaction(pump=False) as txn:
+            for i in range(10):
+                rel.update(txn, addrs[i], {"v": 99})
+        db.recovery_processor.run_until_drained()
+        for bin_ in db.slt.active_bins():
+            db.slt.mark_for_checkpoint(bin_.bin_index, "t")
+            db.checkpoint_queue.submit(bin_.partition, bin_.bin_index, "t")
+        db.checkpoints.process_pending()
+        db.recovery_processor.acknowledge_finished()
+        # leftovers wait in the archive buffer until a full page exists
+        assert (
+            db.recovery_processor.archive_backlog_records > 0
+            or db.recovery_processor.archive_pages_written > 0
+        )
+
+
+class TestDiskQueue:
+    def _queue(self, slots=8):
+        return CheckpointDiskQueue(
+            SimulatedDisk("ckpt", DiskParameters(), VirtualClock()), slots
+        )
+
+    def test_allocate_advances_head(self):
+        queue = self._queue()
+        first = queue.allocate(owner=1)
+        second = queue.allocate(owner=1)
+        assert first != second
+
+    def test_never_reuses_occupied(self):
+        queue = self._queue(slots=4)
+        slots = [queue.allocate(1) for _ in range(4)]
+        assert len(set(slots)) == 4
+        with pytest.raises(CheckpointError):
+            queue.allocate(1)
+
+    def test_pseudo_circular_skips_stationary(self):
+        queue = self._queue(slots=4)
+        stationary = queue.allocate(1)
+        for _ in range(6):  # wraps past the stationary slot repeatedly
+            slot = queue.allocate(1)
+            assert slot != stationary
+            queue.free(slot)
+
+    def test_free_makes_slot_reusable(self):
+        queue = self._queue(slots=2)
+        a = queue.allocate(1)
+        queue.allocate(1)
+        queue.free(a)
+        assert queue.allocate(1) == a
+
+    def test_write_requires_allocation(self):
+        queue = self._queue()
+        with pytest.raises(CheckpointError):
+            queue.write_image(3, b"img")
+
+    def test_image_roundtrip(self):
+        queue = self._queue()
+        slot = queue.allocate(1)
+        queue.write_image(slot, b"partition-image")
+        assert queue.read_image(slot) == b"partition-image"
+
+    def test_rebuild_map(self):
+        queue = self._queue(slots=4)
+        queue.rebuild_map({1, 3})
+        assert queue.is_occupied(1)
+        assert queue.allocate(9) == 0
+        assert queue.allocate(9) == 2
+
+    def test_old_image_freed_after_ack(self):
+        db, rel, addrs = loaded_db()
+        # two checkpoint cycles of the same partition
+        for _ in range(2):
+            db.recovery_processor.run_until_drained()
+            with db.transaction(pump=False) as txn:
+                for i in range(30):
+                    rel.update(txn, addrs[i], {"v": 1})
+            db.recovery_processor.run_until_drained()
+            for bin_ in db.slt.active_bins():
+                db.slt.mark_for_checkpoint(bin_.bin_index, "t")
+                db.checkpoint_queue.submit(bin_.partition, bin_.bin_index, "t")
+            db.checkpoints.process_pending()
+            db.recovery_processor.acknowledge_finished()
+        # occupied slots equal the catalogued ones (no leaks)
+        assert db.checkpoint_disk.occupied_count == len(
+            db.checkpoints.occupied_slots()
+        )

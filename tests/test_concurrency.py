@@ -1,0 +1,223 @@
+"""Tests for the two-phase lock manager and latches."""
+
+import pytest
+
+from repro.common import DeadlockError, LockNotHeldError
+from repro.concurrency import Latch, LockManager, LockMode
+from repro.concurrency.latch import LatchViolationError
+
+S = LockMode.SHARED
+X = LockMode.EXCLUSIVE
+
+
+@pytest.fixture()
+def lm():
+    return LockManager()
+
+
+class TestBasicLocking:
+    def test_exclusive_grant(self, lm):
+        assert lm.acquire(1, "r", X)
+        assert lm.holds(1, "r", X)
+
+    def test_shared_locks_coexist(self, lm):
+        assert lm.acquire(1, "r", S)
+        assert lm.acquire(2, "r", S)
+        assert lm.holds(1, "r", S)
+        assert lm.holds(2, "r", S)
+
+    def test_exclusive_blocks_shared(self, lm):
+        lm.acquire(1, "r", X)
+        assert not lm.acquire(2, "r", S)
+        assert lm.is_waiting(2)
+
+    def test_shared_blocks_exclusive(self, lm):
+        lm.acquire(1, "r", S)
+        assert not lm.acquire(2, "r", X)
+
+    def test_nowait_does_not_queue(self, lm):
+        lm.acquire(1, "r", X)
+        assert not lm.acquire(2, "r", S, wait=False)
+        assert not lm.is_waiting(2)
+
+    def test_reentrant_acquire(self, lm):
+        assert lm.acquire(1, "r", X)
+        assert lm.acquire(1, "r", X)
+        assert lm.acquire(1, "r", S)  # weaker re-request is free
+
+    def test_x_satisfies_s_query(self, lm):
+        lm.acquire(1, "r", X)
+        assert lm.holds(1, "r", S)
+
+    def test_upgrade_sole_holder(self, lm):
+        lm.acquire(1, "r", S)
+        assert lm.acquire(1, "r", X)
+        assert lm.holds(1, "r", X)
+
+    def test_upgrade_blocked_by_other_sharer(self, lm):
+        lm.acquire(1, "r", S)
+        lm.acquire(2, "r", S)
+        assert not lm.acquire(1, "r", X)
+        assert lm.is_waiting(1)
+
+
+class TestReleaseAndWakeup:
+    def test_release_all_grants_waiter(self, lm):
+        lm.acquire(1, "r", X)
+        lm.acquire(2, "r", X)
+        lm.release_all(1)
+        assert lm.holds(2, "r", X)
+        assert not lm.is_waiting(2)
+
+    def test_fifo_wakeup_order(self, lm):
+        lm.acquire(1, "r", X)
+        lm.acquire(2, "r", X)
+        lm.acquire(3, "r", X)
+        lm.release_all(1)
+        assert lm.holds(2, "r", X)
+        assert not lm.holds(3, "r", X)
+        assert lm.is_waiting(3)
+
+    def test_batch_grant_of_compatible_shared_waiters(self, lm):
+        lm.acquire(1, "r", X)
+        lm.acquire(2, "r", S)
+        lm.acquire(3, "r", S)
+        lm.release_all(1)
+        assert lm.holds(2, "r", S)
+        assert lm.holds(3, "r", S)
+
+    def test_no_queue_jumping(self, lm):
+        lm.acquire(1, "r", S)
+        lm.acquire(2, "r", X)  # waits
+        # a new shared request must not bypass the queued X
+        assert not lm.acquire(3, "r", S)
+        lm.release_all(1)
+        assert lm.holds(2, "r", X)
+        assert not lm.holds(3, "r", S)
+
+    def test_early_release_single_resource(self, lm):
+        lm.acquire(1, "rel", S)
+        lm.acquire(1, "tuple", X)
+        lm.release(1, "rel")
+        assert not lm.holds(1, "rel", S)
+        assert lm.holds(1, "tuple", X)
+
+    def test_release_not_held_raises(self, lm):
+        with pytest.raises(LockNotHeldError):
+            lm.release(1, "ghost")
+
+    def test_release_all_cancels_wait(self, lm):
+        lm.acquire(1, "r", X)
+        lm.acquire(2, "r", X)
+        lm.release_all(2)  # abort the waiter
+        assert not lm.is_waiting(2)
+        lm.release_all(1)
+        # nothing left behind
+        assert lm.locks_held(1) == set()
+
+    def test_upgrade_granted_on_release(self, lm):
+        lm.acquire(1, "r", S)
+        lm.acquire(2, "r", S)
+        assert not lm.acquire(1, "r", X)  # waits for upgrade
+        lm.release_all(2)
+        assert lm.holds(1, "r", X)
+
+
+class TestDeadlockDetection:
+    def test_two_txn_cycle_detected(self, lm):
+        lm.acquire(1, "a", X)
+        lm.acquire(2, "b", X)
+        assert not lm.acquire(1, "b", X)  # 1 waits on 2
+        with pytest.raises(DeadlockError) as excinfo:
+            lm.acquire(2, "a", X)  # 2 waits on 1 -> cycle
+        assert excinfo.value.victim == 2
+
+    def test_three_txn_cycle_detected(self, lm):
+        lm.acquire(1, "a", X)
+        lm.acquire(2, "b", X)
+        lm.acquire(3, "c", X)
+        lm.acquire(1, "b", X)
+        lm.acquire(2, "c", X)
+        with pytest.raises(DeadlockError):
+            lm.acquire(3, "a", X)
+
+    def test_no_false_deadlock_on_chain(self, lm):
+        lm.acquire(1, "a", X)
+        lm.acquire(2, "b", X)
+        assert not lm.acquire(2, "a", X)  # simple chain, no cycle
+        assert not lm.acquire(3, "b", S)
+
+    def test_victim_can_recover_by_aborting(self, lm):
+        lm.acquire(1, "a", X)
+        lm.acquire(2, "b", X)
+        lm.acquire(1, "b", X)
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, "a", X)
+        lm.release_all(2)  # victim aborts
+        assert lm.holds(1, "b", X)  # survivor granted
+
+    def test_shared_cycle_through_upgrade(self, lm):
+        lm.acquire(1, "r", S)
+        lm.acquire(2, "r", S)
+        lm.acquire(1, "r", X)  # waits on 2
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, "r", X)  # would wait on 1 -> cycle
+
+
+class TestCrash:
+    def test_crash_clears_all_state(self, lm):
+        lm.acquire(1, "a", X)
+        lm.acquire(2, "a", X)
+        lm.crash()
+        assert not lm.holds(1, "a", X)
+        assert not lm.is_waiting(2)
+        assert lm.acquire(3, "a", X)
+
+
+class TestLatch:
+    def test_acquire_release(self):
+        latch = Latch("map")
+        latch.acquire(1)
+        assert latch.held
+        assert latch.owner == 1
+        latch.release(1)
+        assert not latch.held
+
+    def test_double_acquire_raises(self):
+        latch = Latch("map")
+        latch.acquire(1)
+        with pytest.raises(LatchViolationError):
+            latch.acquire(2)
+
+    def test_foreign_release_raises(self):
+        latch = Latch("map")
+        latch.acquire(1)
+        with pytest.raises(LatchViolationError):
+            latch.release(2)
+
+    def test_context_manager(self):
+        latch = Latch("map")
+        with latch.held_by(7):
+            assert latch.owner == 7
+        assert not latch.held
+
+    def test_context_manager_releases_on_error(self):
+        latch = Latch("map")
+        with pytest.raises(RuntimeError):
+            with latch.held_by(7):
+                raise RuntimeError("boom")
+        assert not latch.held
+
+    def test_assert_unheld(self):
+        latch = Latch("map")
+        latch.assert_unheld("recovery wait")  # free latch passes
+        latch.acquire(1)
+        with pytest.raises(LatchViolationError):
+            latch.assert_unheld("recovery wait")
+
+    def test_acquisition_counter(self):
+        latch = Latch("map")
+        for owner in range(5):
+            with latch.held_by(owner):
+                pass
+        assert latch.acquisitions == 5

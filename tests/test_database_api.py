@@ -1,0 +1,226 @@
+"""Tests for the public Database / Relation API surface."""
+
+import pytest
+
+from repro import Database, SystemConfig
+from repro.common import CatalogError
+
+
+@pytest.fixture()
+def db():
+    return Database()
+
+
+class TestDDL:
+    def test_create_relation_returns_handle(self, db):
+        rel = db.create_relation("t", [("id", "int"), ("v", "int")], primary_key="id")
+        assert rel.name == "t"
+        assert db.table("t") is not None
+
+    def test_duplicate_relation_rejected(self, db):
+        db.create_relation("t", [("id", "int")], primary_key="id")
+        with pytest.raises(CatalogError):
+            db.create_relation("t", [("id", "int")], primary_key="id")
+
+    def test_unknown_primary_key_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_relation("t", [("id", "int")], primary_key="nope")
+
+    def test_primary_index_created_automatically(self, db):
+        db.create_relation("t", [("id", "int")], primary_key="id")
+        descriptor = db.catalog.index("t__pk")
+        assert descriptor.kind == "hash"
+        assert descriptor.key_field == "id"
+
+    def test_primary_index_kind_selectable(self, db):
+        db.create_relation(
+            "t", [("id", "int")], primary_key="id", primary_index="ttree"
+        )
+        assert db.catalog.index("t__pk").kind == "ttree"
+
+    def test_unknown_index_kind_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_relation(
+                "t", [("id", "int")], primary_key="id", primary_index="btree"
+            )
+
+    def test_secondary_index_backfills(self, db):
+        rel = db.create_relation(
+            "t", [("id", "int"), ("v", "int")], primary_key="id"
+        )
+        with db.transaction() as txn:
+            for i in range(20):
+                rel.insert(txn, {"id": i, "v": i % 3})
+        db.create_index("by_v", "t", "v", kind="ttree")
+        with db.transaction() as txn:
+            rows = rel.lookup_by(txn, "by_v", 2)
+            assert sorted(r["id"] for r in rows) == [i for i in range(20) if i % 3 == 2]
+
+    def test_table_unknown_raises(self, db):
+        with pytest.raises(CatalogError):
+            db.table("ghost")
+
+
+class TestDML:
+    @pytest.fixture()
+    def people(self, db):
+        return db.create_relation(
+            "people",
+            [("id", "int"), ("age", "int"), ("name", "str"), ("photo", "bytes")],
+            primary_key="id",
+        )
+
+    def test_insert_and_lookup(self, db, people):
+        with db.transaction() as txn:
+            people.insert(
+                txn, {"id": 1, "age": 30, "name": "ada", "photo": b"\x89PNG"}
+            )
+        with db.transaction() as txn:
+            row = people.lookup(txn, 1)
+            assert row["name"] == "ada"
+            assert row["photo"] == b"\x89PNG"
+
+    def test_null_string_fields(self, db, people):
+        with db.transaction() as txn:
+            people.insert(txn, {"id": 1, "age": 30, "name": None, "photo": None})
+        with db.transaction() as txn:
+            row = people.lookup(txn, 1)
+            assert row["name"] is None
+            assert row["photo"] is None
+
+    def test_update_string_to_null_and_back(self, db, people):
+        with db.transaction() as txn:
+            addr = people.insert(txn, {"id": 1, "age": 1, "name": "x", "photo": None})
+        with db.transaction() as txn:
+            people.update(txn, addr, {"name": None})
+        with db.transaction() as txn:
+            assert people.lookup(txn, 1)["name"] is None
+            people.update(txn, addr, {"name": "restored"})
+        with db.transaction() as txn:
+            assert people.lookup(txn, 1)["name"] == "restored"
+
+    def test_missing_fields_rejected(self, db, people):
+        with pytest.raises(CatalogError):
+            with db.transaction() as txn:
+                people.insert(txn, {"id": 1})
+
+    def test_extra_fields_rejected(self, db, people):
+        with pytest.raises(CatalogError):
+            with db.transaction() as txn:
+                people.insert(
+                    txn,
+                    {"id": 1, "age": 2, "name": "x", "photo": None, "extra": 1},
+                )
+
+    def test_update_unknown_field_rejected(self, db, people):
+        with db.transaction() as txn:
+            addr = people.insert(txn, {"id": 1, "age": 1, "name": "x", "photo": None})
+        with pytest.raises(CatalogError):
+            with db.transaction() as txn:
+                people.update(txn, addr, {"ghost": 2})
+
+    def test_scan_in_address_order(self, db, people):
+        with db.transaction() as txn:
+            for i in (3, 1, 2):
+                people.insert(txn, {"id": i, "age": i, "name": f"p{i}", "photo": None})
+        with db.transaction() as txn:
+            ids = [row["id"] for row in people.scan(txn)]
+        assert ids == [3, 1, 2]  # insertion (address) order
+
+    def test_count(self, db, people):
+        with db.transaction() as txn:
+            for i in range(7):
+                people.insert(txn, {"id": i, "age": i, "name": None, "photo": None})
+        with db.transaction() as txn:
+            assert people.count(txn) == 7
+
+    def test_lookup_by_wrong_relation_rejected(self, db, people):
+        other = db.create_relation("other", [("id", "int")], primary_key="id")
+        with pytest.raises(CatalogError):
+            with db.transaction() as txn:
+                other.lookup_by(txn, "people__pk", 1)
+
+    def test_rows_spill_into_multiple_partitions(self, db):
+        config = SystemConfig(partition_size=2048)
+        small = Database(config)
+        rel = small.create_relation(
+            "wide", [("id", "int"), ("pad", "str")], primary_key="id"
+        )
+        with small.transaction() as txn:
+            for i in range(40):
+                rel.insert(txn, {"id": i, "pad": "y" * 100})
+        descriptor = small.catalog.relation("wide")
+        assert len(descriptor.partitions) > 1
+        with small.transaction() as txn:
+            assert rel.count(txn) == 40
+
+
+class TestStatsAndClock:
+    def test_simulated_time_advances(self, db):
+        rel = db.create_relation("t", [("id", "int")], primary_key="id")
+        t0 = db.clock.now
+        with db.transaction() as txn:
+            for i in range(50):
+                rel.insert(txn, {"id": i})
+        assert db.clock.now > t0
+
+    def test_stats_keys(self, db):
+        stats = db.stats()
+        for key in (
+            "clock_seconds",
+            "transactions_committed",
+            "slb_records_written",
+            "checkpoints_taken",
+        ):
+            assert key in stats
+
+
+class TestRangeQueries:
+    @pytest.fixture()
+    def scores(self, db):
+        rel = db.create_relation(
+            "scores", [("id", "int"), ("score", "int")], primary_key="id"
+        )
+        db.create_index("by_score", "scores", "score", kind="ttree")
+        with db.transaction() as txn:
+            for i in range(30):
+                rel.insert(txn, {"id": i, "score": i * 10})
+        return rel
+
+    def test_closed_range(self, db, scores):
+        with db.transaction() as txn:
+            rows = list(scores.range_by(txn, "by_score", 50, 90))
+        assert [r["score"] for r in rows] == [50, 60, 70, 80, 90]
+
+    def test_open_ended_ranges(self, db, scores):
+        with db.transaction() as txn:
+            low_open = [r["score"] for r in scores.range_by(txn, "by_score", high=20)]
+            high_open = [r["score"] for r in scores.range_by(txn, "by_score", low=270)]
+        assert low_open == [0, 10, 20]
+        assert high_open == [270, 280, 290]
+
+    def test_results_in_key_order(self, db, scores):
+        with db.transaction() as txn:
+            values = [r["score"] for r in scores.range_by(txn, "by_score")]
+        assert values == sorted(values)
+        assert len(values) == 30
+
+    def test_range_on_hash_index_rejected(self, db, scores):
+        with pytest.raises(CatalogError):
+            with db.transaction() as txn:
+                list(scores.range_by(txn, "scores__pk", 1, 5))
+
+    def test_range_on_foreign_index_rejected(self, db, scores):
+        other = db.create_relation("other", [("id", "int")], primary_key="id")
+        with pytest.raises(CatalogError):
+            with db.transaction() as txn:
+                list(other.range_by(txn, "by_score", 1, 5))
+
+    def test_range_survives_crash(self, db, scores):
+        from repro import RecoveryMode
+
+        db.crash()
+        db.restart(RecoveryMode.ON_DEMAND)
+        with db.transaction() as txn:
+            rows = list(db.table("scores").range_by(txn, "by_score", 100, 130))
+        assert [r["score"] for r in rows] == [100, 110, 120, 130]

@@ -1,0 +1,67 @@
+"""Tests for index key encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import IndexStructureError
+from repro.index import decode_key, encode_key
+from repro.index.keys import compare_keys
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("key", [0, 1, -1, 2**63 - 1, -(2**63), 42])
+    def test_int_roundtrip(self, key):
+        assert decode_key(encode_key(key)) == key
+
+    @pytest.mark.parametrize("key", ["", "abc", "ünïcode", "x" * 500])
+    def test_str_roundtrip(self, key):
+        assert decode_key(encode_key(key)) == key
+
+    @pytest.mark.parametrize("key", [b"", b"\x00\xff", b"bytes"])
+    def test_bytes_roundtrip(self, key):
+        assert decode_key(encode_key(key)) == key
+
+    def test_int_out_of_range_rejected(self):
+        with pytest.raises(IndexStructureError):
+            encode_key(2**63)
+
+    def test_bool_rejected(self):
+        with pytest.raises(IndexStructureError):
+            encode_key(True)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(IndexStructureError):
+            encode_key(3.14)
+
+    def test_empty_blob_rejected(self):
+        with pytest.raises(IndexStructureError):
+            decode_key(b"")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(IndexStructureError):
+            decode_key(bytes([99]) + b"payload")
+
+
+class TestOrdering:
+    @given(st.integers(-(2**63), 2**63 - 1), st.integers(-(2**63), 2**63 - 1))
+    def test_int_encoding_preserves_order(self, a, b):
+        assert (encode_key(a) < encode_key(b)) == (a < b)
+
+    @given(st.integers(-(10**6), 10**6))
+    def test_int_roundtrip_property(self, key):
+        assert decode_key(encode_key(key)) == key
+
+    @given(st.text())
+    def test_str_roundtrip_property(self, key):
+        assert decode_key(encode_key(key)) == key
+
+    def test_compare_keys(self):
+        assert compare_keys(1, 2) == -1
+        assert compare_keys(2, 1) == 1
+        assert compare_keys(2, 2) == 0
+        assert compare_keys("a", "b") == -1
+
+    def test_compare_mixed_types_rejected(self):
+        with pytest.raises(IndexStructureError):
+            compare_keys(1, "one")

@@ -1,0 +1,101 @@
+"""Property-based tests on the lock manager's safety invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import DeadlockError
+from repro.common.errors import ConcurrencyError
+from repro.concurrency import LockManager, LockMode
+
+MODES = [
+    LockMode.INTENT_SHARED,
+    LockMode.INTENT_EXCLUSIVE,
+    LockMode.SHARED,
+    LockMode.EXCLUSIVE,
+]
+
+action_strategy = st.one_of(
+    st.tuples(
+        st.just("acquire"),
+        st.integers(1, 5),  # txn
+        st.integers(0, 3),  # resource
+        st.sampled_from(MODES),
+    ),
+    st.tuples(
+        st.just("release_all"),
+        st.integers(1, 5),
+        st.just(0),
+        st.just(LockMode.SHARED),
+    ),
+)
+
+
+def _holders_compatible(lm: LockManager) -> bool:
+    for state in lm._locks.values():
+        holders = list(state.holders.items())
+        for i, (txn_a, mode_a) in enumerate(holders):
+            for txn_b, mode_b in holders[i + 1 :]:
+                if txn_a != txn_b and not mode_a.compatible_with(mode_b):
+                    return False
+    return True
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(action_strategy, max_size=60))
+def test_no_incompatible_holders_ever(actions):
+    """Safety: at no point do two transactions hold incompatible modes on
+    the same resource, no matter the request/release interleaving."""
+    lm = LockManager()
+    for action, txn, resource, mode in actions:
+        if action == "acquire":
+            try:
+                lm.acquire(txn, resource, mode)
+            except (DeadlockError, ConcurrencyError):
+                lm.release_all(txn)
+        else:
+            lm.release_all(txn)
+        assert _holders_compatible(lm)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(action_strategy, max_size=50))
+def test_release_all_always_unblocks_everything(actions):
+    """Liveness: after every transaction releases, no one holds or waits
+    and a fresh exclusive request is granted immediately."""
+    lm = LockManager()
+    for action, txn, resource, mode in actions:
+        if action == "acquire":
+            try:
+                lm.acquire(txn, resource, mode)
+            except (DeadlockError, ConcurrencyError):
+                lm.release_all(txn)
+        else:
+            lm.release_all(txn)
+    for txn in range(1, 6):
+        lm.release_all(txn)
+    for resource in range(4):
+        assert lm.acquire(99, resource, LockMode.EXCLUSIVE)
+    lm.release_all(99)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 4), st.sampled_from(MODES)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_holds_is_consistent_with_grants(requests):
+    """A granted request is immediately visible through holds()."""
+    lm = LockManager()
+    for txn, mode in requests:
+        try:
+            granted = lm.acquire(txn, "r", mode)
+        except (DeadlockError, ConcurrencyError):
+            lm.release_all(txn)
+            continue
+        if granted:
+            assert lm.holds(txn, "r", mode)
+        else:
+            assert lm.is_waiting(txn)

@@ -1,0 +1,168 @@
+"""Tests for archive (media-failure) recovery — section 2.6.
+
+The checkpoint disk is destroyed; partitions must be rebuilt from the
+complete log history (active window + archive) and fresh checkpoint
+images cut so normal crash recovery works again.
+"""
+
+import pytest
+
+from repro import Database, RecoveryMode, SystemConfig
+from repro.common import RecoveryError
+from repro.recovery import (
+    rebuild_partition_from_history,
+    restore_after_checkpoint_media_failure,
+)
+
+
+def small_config(**kwargs):
+    defaults = dict(
+        log_page_size=1024,
+        update_count_threshold=40,
+        log_window_pages=512,
+        log_window_grace_pages=32,
+    )
+    defaults.update(kwargs)
+    return SystemConfig(**defaults)
+
+
+def loaded_db():
+    db = Database(small_config())
+    rel = db.create_relation(
+        "items", [("id", "int"), ("v", "int"), ("s", "str")], primary_key="id"
+    )
+    addrs = {}
+    with db.transaction() as txn:
+        for i in range(40):
+            addrs[i] = rel.insert(txn, {"id": i, "v": 0, "s": f"row-{i}"})
+    for round_ in range(6):
+        with db.transaction() as txn:
+            for i in range(40):
+                rel.update(txn, addrs[i], {"v": round_ * 10 + i})
+    return db, rel, addrs
+
+
+class TestFullHistoryReplay:
+    def test_partition_rebuilt_from_history_matches_live(self):
+        db, rel, addrs = loaded_db()
+        db.recovery_processor.run_until_drained()
+        descriptor = db.catalog.relation("items")
+        number = sorted(descriptor.partitions)[0]
+        from repro.common import PartitionAddress
+
+        address = PartitionAddress(descriptor.segment_id, number)
+        live = db.memory.partition(address)
+        rebuilt, stats = rebuild_partition_from_history(
+            address, db.log_disk, db.slt, db.config.partition_size,
+            pending_archive=db.recovery_processor.pending_archive_records(address),
+        )
+        assert list(rebuilt.entities()) == list(live.entities())
+        assert stats["records_applied"] > 0
+
+    def test_history_includes_checkpoint_leftovers(self):
+        """Records flushed to mixed archive pages at checkpoint time must
+        reappear in the replayed history."""
+        db, rel, addrs = loaded_db()
+        assert db.checkpoints.checkpoints_taken > 0  # leftovers were cut
+        db.recovery_processor.run_until_drained()
+        descriptor = db.catalog.relation("items")
+        from repro.common import PartitionAddress
+
+        for number in sorted(descriptor.partitions):
+            address = PartitionAddress(descriptor.segment_id, number)
+            live = db.memory.partition(address)
+            rebuilt, _ = rebuild_partition_from_history(
+                address, db.log_disk, db.slt, db.config.partition_size,
+                pending_archive=db.recovery_processor.pending_archive_records(address),
+            )
+            assert list(rebuilt.entities()) == list(live.entities())
+
+
+class TestCheckpointDiskFailure:
+    def test_full_restore_after_media_failure(self):
+        db, rel, addrs = loaded_db()
+        db.crash()
+        lost = db.checkpoint_disk.disk.destroy()
+        assert lost > 0  # images existed and are gone
+        totals = restore_after_checkpoint_media_failure(db)
+        assert totals["partitions_rebuilt"] > 0
+        with db.transaction() as txn:
+            table = db.table("items")
+            assert table.count(txn) == 40
+            for i in (0, 17, 39):
+                row = table.lookup(txn, i)
+                assert row["v"] == 50 + i
+                assert row["s"] == f"row-{i}"
+
+    def test_normal_crash_recovery_works_after_media_restore(self):
+        db, rel, addrs = loaded_db()
+        db.crash()
+        db.checkpoint_disk.disk.destroy()
+        restore_after_checkpoint_media_failure(db)
+        # more work, another ordinary crash
+        with db.transaction() as txn:
+            db.table("items").update(txn, addrs[5], {"v": -5})
+        db.crash()
+        db.restart(RecoveryMode.EAGER)
+        with db.transaction() as txn:
+            assert db.table("items").lookup(txn, 5)["v"] == -5
+            assert db.table("items").count(txn) == 40
+
+    def test_media_restore_requires_downtime(self):
+        db, rel, addrs = loaded_db()
+        with pytest.raises(RecoveryError):
+            restore_after_checkpoint_media_failure(db)
+
+    def test_media_restore_on_fresh_database(self):
+        db = Database(small_config())
+        db.crash()
+        db.checkpoint_disk.disk.destroy()
+        totals = restore_after_checkpoint_media_failure(db)
+        assert totals["partitions_rebuilt"] >= 0
+        rel = db.create_relation("t", [("id", "int")], primary_key="id")
+        with db.transaction() as txn:
+            rel.insert(txn, {"id": 1})
+
+    def test_indexes_work_after_media_restore(self):
+        db, rel, addrs = loaded_db()
+        db.create_index("by_v", "items", "v", kind="ttree")
+        db.crash()
+        db.checkpoint_disk.disk.destroy()
+        restore_after_checkpoint_media_failure(db)
+        with db.transaction() as txn:
+            rows = db.table("items").lookup_by(txn, "by_v", 50 + 7)
+            assert [r["id"] for r in rows] == [7]
+        for descriptor in db.catalog.indexes():
+            db.index_object(descriptor, None).verify_invariants()
+
+
+class TestTornCheckpointImage:
+    def test_torn_image_falls_back_to_history_replay(self):
+        db, rel, addrs = loaded_db()
+        db.recovery_processor.run_until_drained()
+        # force a checkpoint whose image write is torn
+        descriptor = db.catalog.relation("items")
+        from repro.common import PartitionAddress
+
+        number = sorted(descriptor.partitions)[0]
+        target = PartitionAddress(descriptor.segment_id, number)
+        bin_ = db.slt.bin_for_partition(target)
+        db.slt.mark_for_checkpoint(bin_.bin_index, "test")
+        db.checkpoint_queue.submit(target, bin_.bin_index, "test")
+        db.checkpoint_disk.disk.inject_torn_write()
+        assert db.checkpoints.process_pending() >= 1
+        db.recovery_processor.acknowledge_finished()
+        db.crash()
+        coordinator = db.restart(RecoveryMode.EAGER)
+        assert coordinator.torn_images_survived >= 1
+        with db.transaction() as txn:
+            table = db.table("items")
+            assert table.count(txn) == 40
+            for i in (0, 20, 39):
+                assert table.lookup(txn, i)["v"] == 50 + i
+
+    def test_intact_images_do_not_use_fallback(self):
+        db, rel, addrs = loaded_db()
+        db.crash()
+        coordinator = db.restart(RecoveryMode.EAGER)
+        assert coordinator.torn_images_survived == 0

@@ -1,0 +1,76 @@
+"""Tests for relation schemas and tuple encoding."""
+
+import pytest
+
+from repro.catalog import Schema
+from repro.catalog.schema import FIELD_WIDTH, NULL_HANDLE, Field, FieldType
+from repro.common import CatalogError
+
+
+@pytest.fixture()
+def schema():
+    return Schema.of([("id", "int"), ("balance", "int"), ("owner", "str")])
+
+
+class TestSchemaShape:
+    def test_of_builds_fields(self, schema):
+        assert [f.name for f in schema] == ["id", "balance", "owner"]
+        assert schema.field("owner").type is FieldType.STR
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema.of([("a", "int"), ("a", "str")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema([])
+
+    def test_positions(self, schema):
+        assert schema.position("id") == 0
+        assert schema.position("owner") == 2
+        with pytest.raises(CatalogError):
+            schema.position("ghost")
+
+    def test_tuple_width_fixed(self, schema):
+        assert schema.tuple_width == 3 * FIELD_WIDTH
+
+    def test_byte_range(self, schema):
+        assert schema.byte_range("balance") == (8, 16)
+
+    def test_heap_backed_flags(self):
+        assert not FieldType.INT.heap_backed
+        assert FieldType.STR.heap_backed
+        assert FieldType.BYTES.heap_backed
+
+
+class TestTupleEncoding:
+    def test_roundtrip(self, schema):
+        cells = [7, -42, 3]  # last is a heap handle
+        assert schema.decode_tuple(schema.encode_tuple(cells)) == cells
+
+    def test_negative_ints_supported(self, schema):
+        cells = [-(2**62), 0, NULL_HANDLE]
+        assert schema.decode_tuple(schema.encode_tuple(cells)) == cells
+
+    def test_wrong_cell_count_rejected(self, schema):
+        with pytest.raises(CatalogError):
+            schema.encode_tuple([1, 2])
+
+    def test_wrong_byte_length_rejected(self, schema):
+        with pytest.raises(CatalogError):
+            schema.decode_tuple(b"\x00" * 7)
+
+    def test_field_cell_roundtrip(self, schema):
+        cell = schema.encode_field("balance", -5)
+        assert schema.decode_field("balance", cell) == -5
+        handle_cell = schema.encode_field("owner", 9)
+        assert schema.decode_field("owner", handle_cell) == 9
+
+    def test_json_roundtrip(self, schema):
+        restored = Schema.from_json(schema.to_json())
+        assert [f.name for f in restored] == [f.name for f in schema]
+        assert restored.field("owner").type is FieldType.STR
+
+    def test_field_json_roundtrip(self):
+        field = Field("x", FieldType.BYTES)
+        assert Field.from_json(field.to_json()) == field

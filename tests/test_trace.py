@@ -1,0 +1,133 @@
+"""Tests for operation traces: record, serialise, replay, bisect."""
+
+import pytest
+
+from repro import Database, RecoveryMode, SystemConfig
+from repro.workloads import Trace, TraceRecorder, replay_trace
+from repro.workloads.trace import TraceError
+
+
+def build_traced_db():
+    db = Database(SystemConfig(log_page_size=1024))
+    rel = db.create_relation(
+        "kv", [("k", "int"), ("v", "int"), ("blob", "bytes")], primary_key="k"
+    )
+    recorder = TraceRecorder(rel)
+    script = [
+        [("insert", {"k": 1, "v": 10, "blob": b"\x00\x01"}),
+         ("insert", {"k": 2, "v": 20, "blob": None})],
+        [("update", 1, {"v": 11})],
+        [("insert", {"k": 3, "v": 30, "blob": b"zz"}),
+         ("delete", 2)],
+        [("update", 3, {"blob": b"\xff" * 4})],
+    ]
+    for group in script:
+        recorder.begin()
+        with db.transaction() as txn:
+            for event in group:
+                if event[0] == "insert":
+                    recorder.insert(txn, event[1])
+                elif event[0] == "update":
+                    recorder.update(txn, event[1], event[2])
+                else:
+                    recorder.delete(txn, event[1])
+        recorder.commit()
+    return db, rel, recorder.trace
+
+
+def state_of(db):
+    with db.transaction() as txn:
+        return {
+            row["k"]: (row["v"], row["blob"]) for row in db.table("kv").scan(txn)
+        }
+
+
+class TestRecordAndReplay:
+    def test_replay_reproduces_state(self):
+        db, rel, trace = build_traced_db()
+        fresh = Database(SystemConfig(log_page_size=1024))
+        replayed = replay_trace(fresh, trace)
+        assert replayed == 4
+        assert state_of(fresh) == state_of(db)
+
+    def test_json_roundtrip(self):
+        db, rel, trace = build_traced_db()
+        restored = Trace.from_json(trace.to_json())
+        assert restored.operation_count == trace.operation_count
+        fresh = Database(SystemConfig(log_page_size=1024))
+        replay_trace(fresh, restored)
+        assert state_of(fresh) == state_of(db)
+
+    def test_prefix_replay(self):
+        db, rel, trace = build_traced_db()
+        fresh = Database(SystemConfig(log_page_size=1024))
+        replay_trace(fresh, trace, transactions=2)
+        assert state_of(fresh) == {1: (11, b"\x00\x01"), 2: (20, None)}
+
+    def test_replay_onto_existing_relation(self):
+        db, rel, trace = build_traced_db()
+        fresh = Database(SystemConfig(log_page_size=1024))
+        fresh.create_relation(
+            "kv", [("k", "int"), ("v", "int"), ("blob", "bytes")], primary_key="k"
+        )
+        replay_trace(fresh, trace, create_relation=False)
+        assert state_of(fresh) == state_of(db)
+
+    def test_schema_mismatch_rejected(self):
+        db, rel, trace = build_traced_db()
+        fresh = Database(SystemConfig(log_page_size=1024))
+        fresh.create_relation("kv", [("k", "int")], primary_key="k")
+        with pytest.raises(TraceError):
+            replay_trace(fresh, trace, create_relation=False)
+
+    def test_aborted_transactions_not_recorded(self):
+        db = Database(SystemConfig(log_page_size=1024))
+        rel = db.create_relation("kv", [("k", "int"), ("v", "int"), ("blob", "bytes")],
+                                 primary_key="k")
+        recorder = TraceRecorder(rel)
+        recorder.begin()
+        txn = db.transactions.begin()
+        recorder.insert(txn, {"k": 9, "v": 9, "blob": None})
+        txn.abort()
+        recorder.rollback()
+        assert recorder.trace.transactions == []
+
+
+class TestCrashBisection:
+    def test_prefix_plus_crash_equals_prefix(self):
+        """Replaying N transactions, crashing, and recovering must equal
+        replaying the same N transactions without a crash."""
+        db, rel, trace = build_traced_db()
+        for prefix in range(len(trace.transactions) + 1):
+            with_crash = Database(SystemConfig(log_page_size=1024))
+            replay_trace(with_crash, trace, transactions=prefix)
+            with_crash.crash()
+            with_crash.restart(RecoveryMode.EAGER)
+            without = Database(SystemConfig(log_page_size=1024))
+            replay_trace(without, trace, transactions=prefix)
+            assert state_of(with_crash) == state_of(without), f"prefix {prefix}"
+
+
+class TestBulkDml:
+    def test_update_where(self):
+        db, rel, trace = build_traced_db()
+        with db.transaction() as txn:
+            changed = db.table("kv").update_where(txn, "v", ">=", 11, {"v": 0})
+        assert changed == 2
+        assert {k: v for k, (v, _) in state_of(db).items()} == {1: 0, 3: 0}
+
+    def test_delete_where(self):
+        db, rel, trace = build_traced_db()
+        with db.transaction() as txn:
+            deleted = db.table("kv").delete_where(txn, "k", ">", 1)
+        assert deleted == 1
+        assert set(state_of(db)) == {1}
+
+    def test_bulk_dml_survives_crash(self):
+        db, rel, trace = build_traced_db()
+        with db.transaction() as txn:
+            db.table("kv").update_where(txn, "k", ">=", 0, {"v": 777})
+        db.crash()
+        db.restart()
+        values = {v for v, _ in state_of(db).values()}
+        assert values == {777}

@@ -1,0 +1,238 @@
+"""Tests for transaction semantics: commit, abort/UNDO, locks, scoping."""
+
+import pytest
+
+from repro import Database, UniqueViolation
+from repro.common import TransactionAborted, TransactionStateError
+from repro.concurrency.locks import LockMode
+from repro.txn.transaction import TxnState
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_relation(
+        "accounts",
+        [("id", "int"), ("balance", "int"), ("owner", "str")],
+        primary_key="id",
+    )
+    return database
+
+
+def insert_account(db, txn, id_, balance=100, owner="alice"):
+    return db.table("accounts").insert(
+        txn, {"id": id_, "balance": balance, "owner": owner}
+    )
+
+
+class TestCommit:
+    def test_commit_is_instant_no_log_disk_io(self, db):
+        pages_before = db.log_disk.pages_written
+        with db.transactions.scope() as txn:
+            insert_account(db, txn, 1)
+        # commit itself forced nothing to the log disk
+        assert db.log_disk.pages_written == pages_before
+
+    def test_commit_releases_locks(self, db):
+        with db.transactions.scope() as txn:
+            address = insert_account(db, txn, 1)
+            assert db.locks.holds(txn.txn_id, address, LockMode.EXCLUSIVE)
+        assert db.locks.locks_held(txn.txn_id) == set()
+
+    def test_commit_moves_chain_to_committed_list(self, db):
+        before = db.slb.committed_chain_count
+        with db.transactions.scope() as txn:
+            insert_account(db, txn, 1)
+        assert db.slb.committed_chain_count == before + 1
+
+    def test_double_commit_rejected(self, db):
+        txn = db.transactions.begin()
+        insert_account(db, txn, 1)
+        txn.commit()
+        with pytest.raises(TransactionStateError):
+            txn.commit()
+
+    def test_write_after_commit_rejected(self, db):
+        txn = db.transactions.begin()
+        txn.commit()
+        with pytest.raises(TransactionStateError):
+            insert_account(db, txn, 1)
+
+
+class TestAbort:
+    def test_abort_undoes_insert(self, db):
+        txn = db.transactions.begin()
+        insert_account(db, txn, 1)
+        txn.abort()
+        with db.transaction() as txn2:
+            assert db.table("accounts").lookup(txn2, 1) is None
+
+    def test_abort_undoes_update(self, db):
+        with db.transaction() as txn:
+            address = insert_account(db, txn, 1, balance=100)
+        txn2 = db.transactions.begin()
+        db.table("accounts").update(txn2, address, {"balance": 999})
+        txn2.abort()
+        with db.transaction() as txn3:
+            assert db.table("accounts").lookup(txn3, 1)["balance"] == 100
+
+    def test_abort_undoes_delete(self, db):
+        with db.transaction() as txn:
+            address = insert_account(db, txn, 1, owner="bob")
+        txn2 = db.transactions.begin()
+        db.table("accounts").delete(txn2, address)
+        txn2.abort()
+        with db.transaction() as txn3:
+            row = db.table("accounts").lookup(txn3, 1)
+            assert row is not None and row["owner"] == "bob"
+
+    def test_abort_undoes_string_heap_changes(self, db):
+        with db.transaction() as txn:
+            address = insert_account(db, txn, 1, owner="original")
+        txn2 = db.transactions.begin()
+        db.table("accounts").update(txn2, address, {"owner": "changed"})
+        txn2.abort()
+        with db.transaction() as txn3:
+            assert db.table("accounts").lookup(txn3, 1)["owner"] == "original"
+
+    def test_abort_restores_index_entries(self, db):
+        with db.transaction() as txn:
+            insert_account(db, txn, 1)
+        txn2 = db.transactions.begin()
+        insert_account(db, txn2, 2)
+        insert_account(db, txn2, 3)
+        txn2.abort()
+        with db.transaction() as txn3:
+            t = db.table("accounts")
+            assert t.lookup(txn3, 1) is not None
+            assert t.lookup(txn3, 2) is None
+            assert t.lookup(txn3, 3) is None
+
+    def test_abort_discards_redo_chain(self, db):
+        txn = db.transactions.begin()
+        insert_account(db, txn, 1)
+        committed_before = db.slb.committed_chain_count
+        txn.abort()
+        assert db.slb.committed_chain_count == committed_before
+        assert db.slb.aborts >= 1
+
+    def test_scope_aborts_on_exception(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction() as txn:
+                insert_account(db, txn, 1)
+                raise RuntimeError("client bug")
+        with db.transaction() as txn:
+            assert db.table("accounts").lookup(txn, 1) is None
+        assert db.transactions.aborted == 1
+
+
+class TestLocking:
+    def test_conflicting_writers_abort(self, db):
+        with db.transaction() as setup:
+            address = insert_account(db, setup, 1)
+        txn_a = db.transactions.begin()
+        db.table("accounts").update(txn_a, address, {"balance": 1})
+        txn_b = db.transactions.begin()
+        with pytest.raises(TransactionAborted):
+            db.table("accounts").update(txn_b, address, {"balance": 2})
+        assert txn_b.state is TxnState.ABORTED
+        txn_a.commit()
+        with db.transaction() as txn:
+            assert db.table("accounts").lookup(txn, 1)["balance"] == 1
+
+    def test_readers_share(self, db):
+        with db.transaction() as setup:
+            address = insert_account(db, setup, 1)
+        txn_a = db.transactions.begin()
+        txn_b = db.transactions.begin()
+        assert db.table("accounts").read(txn_a, address)["id"] == 1
+        assert db.table("accounts").read(txn_b, address)["id"] == 1
+        txn_a.commit()
+        txn_b.commit()
+
+    def test_reader_blocks_writer(self, db):
+        with db.transaction() as setup:
+            address = insert_account(db, setup, 1)
+        txn_a = db.transactions.begin()
+        db.table("accounts").read(txn_a, address)
+        txn_b = db.transactions.begin()
+        with pytest.raises(TransactionAborted):
+            db.table("accounts").update(txn_b, address, {"balance": 5})
+        txn_a.commit()
+
+    def test_aborted_txn_lock_error_carries_id(self, db):
+        with db.transaction() as setup:
+            address = insert_account(db, setup, 1)
+        txn_a = db.transactions.begin()
+        db.table("accounts").update(txn_a, address, {"balance": 1})
+        txn_b = db.transactions.begin()
+        with pytest.raises(TransactionAborted) as excinfo:
+            db.table("accounts").update(txn_b, address, {"balance": 2})
+        assert excinfo.value.txn_id == txn_b.txn_id
+        txn_a.commit()
+
+
+class TestUniqueness:
+    def test_duplicate_primary_key_rejected(self, db):
+        with db.transaction() as txn:
+            insert_account(db, txn, 1)
+        with pytest.raises(UniqueViolation):
+            with db.transaction() as txn:
+                insert_account(db, txn, 1)
+        # the failed transaction rolled back cleanly
+        with db.transaction() as txn:
+            assert db.table("accounts").count(txn) == 1
+
+    def test_update_to_existing_key_rejected(self, db):
+        with db.transaction() as txn:
+            insert_account(db, txn, 1)
+            address = insert_account(db, txn, 2)
+        with pytest.raises(UniqueViolation):
+            with db.transaction() as txn:
+                db.table("accounts").update(txn, address, {"id": 1})
+
+    def test_update_key_to_same_value_allowed(self, db):
+        with db.transaction() as txn:
+            address = insert_account(db, txn, 1)
+        with db.transaction() as txn:
+            db.table("accounts").update(txn, address, {"id": 1})
+
+
+class TestUndoSpaceAccounting:
+    def test_undo_grows_and_clears(self, db):
+        txn = db.transactions.begin()
+        insert_account(db, txn, 1)
+        assert txn.undo_record_count > 0
+        assert txn.undo_bytes > 0
+        txn.commit()
+        assert txn.undo_record_count == 0
+
+    def test_manager_counts(self, db):
+        with db.transaction() as txn:
+            insert_account(db, txn, 1)
+        txn2 = db.transactions.begin()
+        txn2.abort()
+        # +2 for DDL transactions from the fixture
+        assert db.transactions.committed >= 2
+        assert db.transactions.aborted == 1
+        assert db.transactions.active_count == 0
+
+
+class TestScopeEdgeCases:
+    def test_abort_inside_scope_without_exception_rejected(self, db):
+        with pytest.raises(TransactionStateError):
+            with db.transactions.scope() as txn:
+                txn.abort()  # silent abort inside a successful scope
+
+    def test_commit_inside_scope_is_fine(self, db):
+        with db.transactions.scope() as txn:
+            insert_account(db, txn, 77)
+            txn.commit()  # early explicit commit
+        with db.transaction() as txn2:
+            assert db.table("accounts").lookup(txn2, 77) is not None
+
+    def test_user_data_flows_to_audit(self, db):
+        txn = db.transactions.begin(user_data="batch import #9")
+        txn.commit()
+        entries = db.audit.entries_for(txn.txn_id)
+        assert entries[0].user_data == "batch import #9"

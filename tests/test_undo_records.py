@@ -1,0 +1,140 @@
+"""Unit tests for each UNDO record type's apply()."""
+
+import pytest
+
+from repro.common import EntityAddress, PartitionAddress, SegmentKind
+from repro.storage import MemoryManager
+from repro.wal.undo import (
+    UndoFieldPatch,
+    UndoHeapDelete,
+    UndoHeapPut,
+    UndoHeapReplace,
+    UndoIndexNodeFree,
+    UndoIndexNodeWrite,
+    UndoTupleDelete,
+    UndoTupleInsert,
+    UndoTupleUpdate,
+)
+
+
+@pytest.fixture()
+def memory():
+    manager = MemoryManager(partition_size=8 * 1024)
+    segment = manager.create_segment(SegmentKind.RELATION, "t")
+    segment.allocate_partition()
+    return manager
+
+
+def eaddr(memory, offset):
+    segment = next(memory.segments())
+    return EntityAddress(segment.segment_id, 1, offset)
+
+
+def paddr(memory):
+    segment = next(memory.segments())
+    return PartitionAddress(segment.segment_id, 1)
+
+
+class TestTupleUndo:
+    def test_undo_insert_deletes(self, memory):
+        part = memory.partition(paddr(memory))
+        offset = part.insert(b"new")
+        UndoTupleInsert(eaddr(memory, offset)).apply(memory)
+        assert offset not in part
+
+    def test_undo_update_restores(self, memory):
+        part = memory.partition(paddr(memory))
+        offset = part.insert(b"before")
+        part.update(offset, b"after")
+        UndoTupleUpdate(eaddr(memory, offset), b"before").apply(memory)
+        assert part.read(offset) == b"before"
+
+    def test_undo_delete_reinserts_at_same_offset(self, memory):
+        part = memory.partition(paddr(memory))
+        offset = part.insert(b"gone")
+        part.delete(offset)
+        UndoTupleDelete(eaddr(memory, offset), b"gone").apply(memory)
+        assert part.read(offset) == b"gone"
+
+    def test_undo_field_patch_restores_range(self, memory):
+        part = memory.partition(paddr(memory))
+        offset = part.insert(b"AAAABBBB")
+        part.update(offset, b"AAAAXXXX")
+        UndoFieldPatch(eaddr(memory, offset), 4, b"BBBB").apply(memory)
+        assert part.read(offset) == b"AAAABBBB"
+
+    def test_size_bytes_includes_before_image(self, memory):
+        small = UndoTupleUpdate(eaddr(memory, 1), b"xy")
+        large = UndoTupleUpdate(eaddr(memory, 1), b"x" * 100)
+        assert large.size_bytes > small.size_bytes
+
+
+class TestHeapUndo:
+    def test_undo_put_deletes(self, memory):
+        part = memory.partition(paddr(memory))
+        handle = part.heap.put(b"string")
+        UndoHeapPut(paddr(memory), handle).apply(memory)
+        assert handle not in part.heap
+
+    def test_undo_replace_restores(self, memory):
+        part = memory.partition(paddr(memory))
+        handle = part.heap.put(b"old")
+        part.heap.replace(handle, b"new")
+        UndoHeapReplace(paddr(memory), handle, b"old").apply(memory)
+        assert part.heap.get(handle) == b"old"
+
+    def test_undo_delete_restores_same_handle(self, memory):
+        part = memory.partition(paddr(memory))
+        handle = part.heap.put(b"bye")
+        part.heap.delete(handle)
+        UndoHeapDelete(paddr(memory), handle, b"bye").apply(memory)
+        assert part.heap.get(handle) == b"bye"
+
+
+class TestIndexUndo:
+    def test_undo_write_restores_before_image(self, memory):
+        part = memory.partition(paddr(memory))
+        offset = part.insert(b"node-v1")
+        part.update(offset, b"node-v2")
+        UndoIndexNodeWrite(eaddr(memory, offset), b"node-v1").apply(memory)
+        assert part.read(offset) == b"node-v1"
+
+    def test_undo_write_of_created_node_removes_it(self, memory):
+        part = memory.partition(paddr(memory))
+        offset = part.insert(b"created")
+        UndoIndexNodeWrite(eaddr(memory, offset), None).apply(memory)
+        assert offset not in part
+
+    def test_undo_write_reinserts_missing_node(self, memory):
+        part = memory.partition(paddr(memory))
+        offset = part.insert(b"v1")
+        part.delete(offset)
+        UndoIndexNodeWrite(eaddr(memory, offset), b"v1").apply(memory)
+        assert part.read(offset) == b"v1"
+
+    def test_undo_free_reinstates(self, memory):
+        part = memory.partition(paddr(memory))
+        offset = part.insert(b"freed")
+        part.delete(offset)
+        UndoIndexNodeFree(eaddr(memory, offset), b"freed").apply(memory)
+        assert part.read(offset) == b"freed"
+
+
+class TestReverseOrderComposition:
+    def test_lifo_application_reverses_a_sequence(self, memory):
+        """Applying a chain newest-first exactly reverses the operations."""
+        part = memory.partition(paddr(memory))
+        undo_chain = []
+        offset = part.insert(b"v1")
+        undo_chain.append(UndoTupleInsert(eaddr(memory, offset)))
+        part.update(offset, b"v2")
+        undo_chain.append(UndoTupleUpdate(eaddr(memory, offset), b"v1"))
+        handle = part.heap.put(b"s1")
+        undo_chain.append(UndoHeapPut(paddr(memory), handle))
+        part.update(offset, b"v3")
+        undo_chain.append(UndoTupleUpdate(eaddr(memory, offset), b"v2"))
+        for record in reversed(undo_chain):
+            record.apply(memory)
+        assert offset not in part
+        assert handle not in part.heap
+        assert part.used_bytes == 0
