@@ -14,6 +14,7 @@ transactions serialise on a write latch exactly as the paper requires.
 
 from __future__ import annotations
 
+from repro.common.checksum import open_frame, seal_frame
 from repro.common.errors import CheckpointError
 from repro.concurrency.latch import Latch
 from repro.sim.disk import SimulatedDisk
@@ -59,13 +60,21 @@ class CheckpointDiskQueue:
     # -- image I/O -----------------------------------------------------------------
 
     def write_image(self, slot: int, image: bytes) -> None:
-        """Partitions are written in whole tracks (double transfer rate)."""
+        """Partitions are written in whole tracks (double transfer rate).
+
+        Images are CRC32-framed so corruption is detected at read time
+        and recovery can fall back to full-history log replay.
+        """
         if slot not in self._occupied:
             raise CheckpointError(f"slot {slot} was not allocated")
-        self.disk.write_track(slot, image)
+        self.disk.write_track(slot, seal_frame(image))
 
     def read_image(self, slot: int) -> bytes:
-        return self.disk.read_track(slot)
+        """Read and verify one image; raises
+        :class:`~repro.common.errors.ChecksumError` on corruption."""
+        return open_frame(
+            self.disk.read_track(slot), context=f"checkpoint slot {slot}"
+        )
 
     # -- inspection -------------------------------------------------------------------
 

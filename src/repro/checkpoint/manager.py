@@ -26,6 +26,32 @@ from typing import TYPE_CHECKING
 from repro.common.errors import CatalogError, NotResidentError, TransactionAborted
 from repro.concurrency.locks import LockMode
 from repro.checkpoint.protocol import CheckpointRequest, RequestState
+from repro.sim.chaos import crash_point, register_crash_point
+
+register_crash_point(
+    "checkpoint.begin",
+    "step 2: request found, before the checkpoint transaction starts",
+)
+register_crash_point(
+    "checkpoint.locked",
+    "step 3: relation read lock held, partition not yet copied",
+)
+register_crash_point(
+    "checkpoint.copied",
+    "step 4: partition copied to the side buffer, lock released",
+)
+register_crash_point(
+    "checkpoint.slot-installed",
+    "step 5: catalog/disk-map updates logged, image not yet written",
+)
+register_crash_point(
+    "checkpoint.image-written",
+    "step 6a: image durable in its fresh slot, transaction uncommitted",
+)
+register_crash_point(
+    "checkpoint.committed",
+    "step 6b: checkpoint transaction committed, flag not yet FINISHED",
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.database import Database
@@ -59,11 +85,13 @@ class CheckpointManager:
 
     def _run_one(self, request: CheckpointRequest) -> bool:
         db = self.db
+        crash_point("checkpoint.begin")
         request.state = RequestState.IN_PROGRESS
         txn = db.transactions.begin(system=True)
         try:
             lock_segment = self._lock_segment_for(request)
             txn.lock_relation(lock_segment, LockMode.SHARED)
+            crash_point("checkpoint.locked")
             partition = db.memory.partition(request.partition)
             # Step 4: copy at memory speed, then release the lock at once.
             image = partition.to_bytes()
@@ -71,12 +99,21 @@ class CheckpointManager:
                 COPY_INSTRUCTIONS_PER_BYTE * len(image), "checkpoint-copy"
             )
             db.locks.release(txn.txn_id, ("rel", lock_segment))
+            crash_point("checkpoint.copied")
             # Step 5: log the catalog / disk-map updates before the write.
             slot = db.checkpoint_disk.allocate(txn.txn_id)
             request.previous_slot = self._install_slot(request, slot, txn)
+            crash_point("checkpoint.slot-installed")
             # Step 6: write the image and commit.
             db.checkpoint_disk.write_image(slot, image)
+            if request.partition.segment == db.catalog.segment.segment_id:
+                # Publish the catalog's own new location only once the
+                # image is durable: the well-known areas are not logged,
+                # so an earlier publish would dangle if we crashed here.
+                db.publish_catalog_locations()
+            crash_point("checkpoint.image-written")
             txn.commit()
+            crash_point("checkpoint.committed")
         except (TransactionAborted, NotResidentError):
             # lock conflict or partition awaiting recovery: retry later
             if txn.state.value == "active":
@@ -113,7 +150,7 @@ class CheckpointManager:
         if segment_id == db.catalog.segment.segment_id:
             previous = db.catalog.own_partition_slots.get(number)
             db.catalog.own_partition_slots[number] = slot
-            db.publish_catalog_locations()
+            # well-known publish is deferred to after the image write
             return previous
         descriptor = db.catalog.descriptor_for_segment(segment_id)
         info = descriptor.partitions.get(number)

@@ -107,6 +107,24 @@ class LogWindowOverrunError(LogError):
     """
 
 
+class ChecksumError(LogError):
+    """A stable block's CRC32 did not match its contents.
+
+    Detected corruption (bit rot, stale version, zero-fill, partial
+    write) is surfaced as this error so readers can fail over to the
+    mirror copy instead of decoding garbage.
+    """
+
+
+class MediaFailure(ReproError):
+    """Both copies of a duplexed block (or the only copy of a checkpoint
+    image) are unreadable.
+
+    This is beyond what duplexing protects against; the caller must
+    escalate to archive (media) recovery — paper section 2.6.
+    """
+
+
 class CheckpointError(ReproError):
     """A checkpoint transaction failed or the checkpoint protocol was violated."""
 

@@ -91,6 +91,9 @@ class Database:
         self._build_recovery_component()
         self.crashed = False
         self.restart_coordinator: RestartCoordinator | None = None
+        #: Optional hook invoked as ``observer(txn)`` the instant a
+        #: transaction becomes durable (used by the recovery oracle).
+        self.commit_observer = None
 
     # -- construction ------------------------------------------------------------
 

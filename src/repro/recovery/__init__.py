@@ -7,21 +7,32 @@
   image plus its chained log pages plus its pending SLT records.
 * :mod:`repro.recovery.restart` — post-crash orchestration: catalogs
   first, then on-demand and background partition recovery.
+* :mod:`repro.recovery.media` — full-history (archive) replay for media
+  failures of the checkpoint disk or the duplexed log disks.
+* :mod:`repro.recovery.oracle` — the logical digest of committed state
+  and the verifier that proves recovery restored it exactly.
 """
 
 from repro.recovery.media import (
     rebuild_partition_from_history,
     restore_after_checkpoint_media_failure,
+    restore_after_log_media_failure,
+    scrub_log_disk,
 )
+from repro.recovery.oracle import RecoveryVerifier, logical_digest
 from repro.recovery.processor import RecoveryProcessor
 from repro.recovery.redo import enumerate_log_pages, rebuild_partition
 from repro.recovery.restart import RestartCoordinator
 
 __all__ = [
     "RecoveryProcessor",
+    "RecoveryVerifier",
     "RestartCoordinator",
     "enumerate_log_pages",
+    "logical_digest",
     "rebuild_partition",
     "rebuild_partition_from_history",
     "restore_after_checkpoint_media_failure",
+    "restore_after_log_media_failure",
+    "scrub_log_disk",
 ]

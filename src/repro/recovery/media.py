@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.common.errors import LogError, RecoveryError
+from repro.common.errors import LogError, MediaFailure, RecoveryError
 from repro.common.types import PartitionAddress
 from repro.storage.partition import Partition
 from repro.wal.log_disk import ARCHIVE_SEGMENT, LogDisk
@@ -179,6 +179,68 @@ def restore_after_checkpoint_media_failure(db: "Database") -> dict:
     db.recovery_processor.acknowledge_finished()
     db.publish_catalog_locations()
     return totals
+
+
+def scrub_log_disk(db: "Database") -> list[int]:
+    """Probe every page still on the duplexed log disks with a verified
+    (checksummed, failover) read.
+
+    Returns the LSNs for which *both* copies are unreadable — a true
+    media failure.  Blocks with one bad copy pass the scrub: the duplex
+    read serves them from the surviving mirror.
+    """
+    unreadable: list[int] = []
+    for lsn in sorted(db.log_disk.disks.block_ids()):
+        try:
+            db.log_disk.disks.read_page(lsn, sibling=True)
+        except MediaFailure:
+            unreadable.append(lsn)
+    return unreadable
+
+
+def restore_after_log_media_failure(db: "Database") -> dict:
+    """Rescue a live system whose duplexed log disks both lost pages.
+
+    Precondition: the system is up and every partition is memory-resident
+    (run full recovery first after a restart).  Main memory plus the
+    stable SLB/SLT hold the authoritative committed state, so the cure is
+    to make the damaged log irrelevant: drop the unreadable pages, drain
+    the sort pipeline, and cut a fresh checkpoint of every partition.
+    Once the new images are acknowledged, no pre-existing log page is
+    needed for memory recovery.
+
+    Full-history (archive) replay across the damaged span is necessarily
+    degraded — both copies of those pages are gone — which is why fresh
+    checkpoints are mandatory, not optional, here.
+    """
+    if db.crashed:
+        raise RecoveryError(
+            "log media restore runs on a live system; restart first"
+        )
+    unreadable = scrub_log_disk(db)
+    # Unreadable blocks would raise MediaFailure when the sliding window
+    # tries to archive them; drop them before any further log append.
+    for lsn in unreadable:
+        db.log_disk.disks.free(lsn)
+    db.recovery_processor.run_until_drained()
+    checkpoints_before = db.checkpoints.checkpoints_taken
+    for bin_ in db.slt.bins():
+        if not bin_.marked_for_checkpoint:
+            db.slt.mark_for_checkpoint(bin_.bin_index, "media-restore")
+            db.checkpoint_queue.submit(
+                bin_.partition, bin_.bin_index, "media-restore"
+            )
+    while db.checkpoint_queue.pending():
+        if db.checkpoints.process_pending() == 0:
+            raise RecoveryError(
+                "log media restore could not checkpoint every partition"
+            )
+        db.recovery_processor.acknowledge_finished()
+    db.recovery_processor.acknowledge_finished()
+    return {
+        "unreadable_pages": unreadable,
+        "checkpoints_cut": db.checkpoints.checkpoints_taken - checkpoints_before,
+    }
 
 
 def _accumulate(totals: dict, stats: dict) -> None:

@@ -16,11 +16,42 @@ from __future__ import annotations
 from repro.checkpoint.protocol import CheckpointQueue
 from repro.common.config import SystemConfig
 from repro.common.types import PartitionAddress
+from repro.sim.chaos import crash_point, register_crash_point
 from repro.sim.cpu import CpuMeter
+from repro.sim.faults import SimulatedCrash
 from repro.wal.log_disk import ARCHIVE_SEGMENT, LogDisk, LogPage
 from repro.wal.records import RedoRecord
 from repro.wal.slb import StableLogBuffer
 from repro.wal.slt import CheckpointReason, PartitionBin, StableLogTail
+
+register_crash_point(
+    "recovery.sort.after-deposit",
+    "sorting step: record deposited in its bin, bin not yet flushed",
+)
+register_crash_point(
+    "recovery.flush.after-seal",
+    "bin flush: page sealed, not yet written to the log disk",
+)
+register_crash_point(
+    "recovery.flush.after-write",
+    "bin flush: page durable on the log disk, bin/directory not updated",
+)
+register_crash_point(
+    "recovery.flush.after-directory-update",
+    "bin flush: directory and first-LSN monitor updated",
+)
+register_crash_point(
+    "recovery.archive.page-written",
+    "archive flush: mixed page durable, buffer slice not yet dropped",
+)
+register_crash_point(
+    "checkpoint.request.submitted",
+    "step 1: checkpoint request entered in the SLB queue",
+)
+register_crash_point(
+    "checkpoint.acknowledged",
+    "step 7: bin reset and superseded slot freed for one checkpoint",
+)
 
 
 class RecoveryProcessor:
@@ -64,11 +95,21 @@ class RecoveryProcessor:
         written (age) and after the drain (update count).
         """
         records = self.slb.drain_committed(max_records)
-        for record in records:
-            self._charge_sort(record)
-            page_full = self.slt.deposit(record)
-            if page_full:
-                self._flush_bin(record.bin_index)
+        deposited = 0
+        try:
+            for record in records:
+                self._charge_sort(record)
+                page_full = self.slt.deposit(record)
+                deposited += 1
+                crash_point("recovery.sort.after-deposit")
+                if page_full:
+                    self._flush_bin(record.bin_index)
+        except SimulatedCrash:
+            # The SLB → SLT move is stable-to-stable and record-atomic:
+            # records drained but not yet deposited go back to the
+            # committed list so the post-restart drain finds them.
+            self.slb.requeue_committed(records[deposited:])
+            raise
         self.records_sorted += len(records)
         if records:
             self._check_update_count_triggers()
@@ -104,10 +145,13 @@ class RecoveryProcessor:
         if any(r.partition_address == partition for r in self._archive_buffer):
             self._flush_archive(force=True)
         page = self.slt.seal_page(bin_index)
+        crash_point("recovery.flush.after-seal")
         self.cpu.charge(params.i_write_init, "write-init")
         self.cpu.charge(params.i_page_alloc, "page-alloc")
         lsn = self.log_disk.append_page(page)
-        self.slt.note_page_written(bin_index, lsn)
+        crash_point("recovery.flush.after-write")
+        self.slt.note_page_written(bin_index, lsn, len(page.records))
+        crash_point("recovery.flush.after-directory-update")
         self.cpu.charge(params.i_process_lsn, "process-lsn")
         self.pages_flushed += 1
         self._check_age_triggers()
@@ -126,6 +170,7 @@ class RecoveryProcessor:
         self.slt.mark_for_checkpoint(bin_.bin_index, reason)
         self.cpu.charge(self.params.i_checkpoint, "checkpoint-signal")
         self.checkpoint_queue.submit(bin_.partition, bin_.bin_index, reason)
+        crash_point("checkpoint.request.submitted")
         self.checkpoints_requested += 1
 
     # -- finished-checkpoint acknowledgement ------------------------------------------------
@@ -150,6 +195,7 @@ class RecoveryProcessor:
                 self._free_slot(request.previous_slot)
             self.checkpoint_queue.remove(request)
             acknowledged += 1
+            crash_point("checkpoint.acknowledged")
         return acknowledged
 
     #: Set by the database so the processor can free superseded slots.
@@ -166,26 +212,28 @@ class RecoveryProcessor:
         'thereby saving log space and disk transfer time by writing only
         full or mostly full pages to the log' (section 2.4).  ``force``
         flushes a partial page to preserve per-partition LSN order."""
-        if force and self._archive_buffer and (
-            self._archive_bytes < self.config.log_page_size
-        ):
-            self._emit_archive_page(list(self._archive_buffer), self._archive_bytes)
-            self._archive_buffer.clear()
-            self._archive_bytes = 0
         while self._archive_bytes >= self.config.log_page_size:
             taken: list[RedoRecord] = []
             taken_bytes = 0
-            while self._archive_buffer and taken_bytes < self.config.log_page_size:
-                record = self._archive_buffer.pop(0)
+            for record in self._archive_buffer:
+                if taken_bytes >= self.config.log_page_size:
+                    break
                 taken.append(record)
                 taken_bytes += record.size_bytes
-            self._archive_bytes -= taken_bytes
             self._emit_archive_page(taken, taken_bytes)
+        if force and self._archive_buffer:
+            self._emit_archive_page(list(self._archive_buffer), self._archive_bytes)
 
     def _emit_archive_page(self, records: list[RedoRecord], nbytes: int) -> None:
+        """Write one mixed archive page; the records leave the stable
+        buffer only once the page is durable (crash between the two sees a
+        harmless consecutive duplicate in the full history)."""
         page = LogPage(PartitionAddress(ARCHIVE_SEGMENT, 0), records)
         self.cpu.charge(self.params.i_write_init, "write-init")
         self.log_disk.append_page(page)
+        crash_point("recovery.archive.page-written")
+        del self._archive_buffer[: len(records)]
+        self._archive_bytes -= nbytes
         self.archive_pages_written += 1
         self._check_age_triggers()  # archive pages advance the window too
 

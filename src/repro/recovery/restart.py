@@ -22,7 +22,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.catalog.catalog import Catalog, IndexDescriptor
-from repro.common.errors import RecoveryError, ReproError
+from repro.common.errors import ChecksumError, RecoveryError, ReproError, StorageError
+from repro.sim.chaos import crash_point, register_crash_point
 from repro.sim.faults import TornWriteError
 from repro.common.types import PartitionAddress, SegmentKind
 from repro.recovery.redo import rebuild_partition
@@ -31,6 +32,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.database import Database
 
 CATALOG_LOCATIONS_KEY = "catalog-partitions"
+
+register_crash_point(
+    "restart.phase1.queue-reverted",
+    "restart: in-progress checkpoints reverted, uncommitted chains dropped",
+)
+register_crash_point(
+    "restart.phase1.log-drained",
+    "restart: committed SLB records sorted, checkpoints acknowledged",
+)
+register_crash_point(
+    "restart.phase1.catalog-recovered",
+    "restart: catalog partitions rebuilt, segments not yet registered",
+)
+register_crash_point(
+    "restart.phase2.partition-recovered",
+    "restart: one data partition recovered and installed",
+)
 
 
 class RestartCoordinator:
@@ -54,8 +72,10 @@ class RestartCoordinator:
         db = self.db
         start = db.clock.now
         db.checkpoint_queue.revert_in_progress()
+        crash_point("restart.phase1.queue-reverted")
         db.recovery_processor.run_until_drained()
         db.recovery_processor.acknowledge_finished()
+        crash_point("restart.phase1.log-drained")
         entry = db.slb.get_well_known(CATALOG_LOCATIONS_KEY)
         if entry is None:
             # The SLT holds the duplicate copy (section 2.5).
@@ -79,6 +99,7 @@ class RestartCoordinator:
             self._note(stats)
         db.catalog = catalog
         catalog.rebuild()
+        crash_point("restart.phase1.catalog-recovered")
         self._register_segments()
         db.checkpoint_disk.rebuild_map(db.checkpoints.occupied_slots())
         self.catalog_restore_seconds = db.clock.now - start
@@ -106,9 +127,10 @@ class RestartCoordinator:
         """Recovery transaction for one partition; returns its stats, or
         None if the partition is already resident.
 
-        A checkpoint image torn by the crash (detectable on read) is
-        survived by falling back to full-history replay from the log —
-        the archive-recovery path of section 2.6.
+        An unusable checkpoint image — torn by the crash, failing its
+        CRC on both mirrors, or holding a stale image of the wrong
+        partition — is survived by falling back to full-history replay
+        from the log, the archive-recovery path of section 2.6.
         """
         db = self.db
         try:
@@ -128,7 +150,7 @@ class RestartCoordinator:
                 db.slt,
                 db.config.partition_size,
             )
-        except TornWriteError:
+        except (TornWriteError, ChecksumError, StorageError):
             from repro.recovery.media import rebuild_partition_from_history
 
             partition, media_stats = rebuild_partition_from_history(
@@ -148,6 +170,7 @@ class RestartCoordinator:
             self.torn_images_survived += 1
         segment.install(partition)
         self._note(stats)
+        crash_point("restart.phase2.partition-recovered")
         return stats
 
     def _checkpoint_slot(self, address: PartitionAddress) -> int | None:

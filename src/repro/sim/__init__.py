@@ -12,20 +12,40 @@ and duplexed two-head log disks.  This package simulates each of them:
   seek/rotate/transfer timing, surviving simulated crashes.
 * :mod:`repro.sim.stable_memory` — capacity-tracked stable reliable RAM.
 * :mod:`repro.sim.faults` — crash and torn-write injection.
+* :mod:`repro.sim.chaos` — the named crash-point registry and the sweep
+  harness that crashes a workload at every point and verifies recovery.
 """
 
+from repro.sim.chaos import (
+    ChaosHarness,
+    ChaosMonkey,
+    CrashPointRun,
+    chaos,
+    crash_point,
+    register_crash_point,
+    registered_crash_points,
+)
 from repro.sim.clock import VirtualClock
 from repro.sim.cpu import CpuMeter
-from repro.sim.disk import DuplexedDisk, SimulatedDisk
-from repro.sim.faults import CrashInjector, TornWriteError
+from repro.sim.disk import CORRUPTION_KINDS, DuplexedDisk, SimulatedDisk
+from repro.sim.faults import CrashInjector, SimulatedCrash, TornWriteError
 from repro.sim.stable_memory import StableMemory
 
 __all__ = [
+    "CORRUPTION_KINDS",
+    "ChaosHarness",
+    "ChaosMonkey",
     "CpuMeter",
     "CrashInjector",
+    "CrashPointRun",
     "DuplexedDisk",
+    "SimulatedCrash",
     "SimulatedDisk",
     "StableMemory",
     "TornWriteError",
     "VirtualClock",
+    "chaos",
+    "crash_point",
+    "register_crash_point",
+    "registered_crash_points",
 ]

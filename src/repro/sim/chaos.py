@@ -1,0 +1,228 @@
+"""Crash-point registry and chaos harness.
+
+The paper's claim is that recovery is *exact* no matter when the system
+dies — mid-commit, in any of the seven checkpoint steps (section 2.4),
+mid-flush, or even mid-restart.  This module makes that claim mechanically
+checkable:
+
+* Instrumented modules call :func:`register_crash_point` at import time
+  and :func:`crash_point` at each interesting transition.  With no monkey
+  active a hook is one global read and a ``None`` check, so the hooks
+  stay on the hot path permanently (``benchmarks/bench_chaos_overhead.py``
+  enforces the budget).
+* :class:`ChaosMonkey` arms exactly one named point; the first time
+  execution passes it, a :class:`~repro.sim.faults.SimulatedCrash` is
+  raised and the monkey latches so recovery can run through the very same
+  code path without re-firing.
+* :class:`ChaosHarness` enumerates every registered point and, for each
+  one and each recovery mode, replays a workload, crashes at the point,
+  restarts (retrying when the crash lands *inside* restart), and checks
+  the recovered state against the :class:`~repro.recovery.oracle.RecoveryVerifier`
+  digest.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.common.errors import RecoveryError
+from repro.sim.faults import SimulatedCrash
+
+#: name -> human description of every crash point threaded into the system.
+_REGISTRY: dict[str, str] = {}
+
+#: The monkey currently observing crash points (None = all hooks free).
+_active: "ChaosMonkey | None" = None
+
+
+def register_crash_point(name: str, description: str) -> str:
+    """Declare a crash point (idempotent; called at module import)."""
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing != description:
+        raise ValueError(f"crash point {name!r} registered twice with different text")
+    _REGISTRY[name] = description
+    return name
+
+
+def registered_crash_points() -> dict[str, str]:
+    """Every known crash point, name -> description."""
+    return dict(_REGISTRY)
+
+
+def crash_point(name: str) -> None:
+    """Hook threaded through hot transitions.  Near-free when disabled."""
+    monkey = _active
+    if monkey is not None:
+        monkey.visit(name)
+
+
+def activate(monkey: "ChaosMonkey") -> None:
+    global _active
+    if _active is not None:
+        raise RuntimeError("another ChaosMonkey is already active")
+    _active = monkey
+
+
+def deactivate() -> None:
+    global _active
+    _active = None
+
+
+@contextlib.contextmanager
+def chaos(monkey: "ChaosMonkey") -> Iterator["ChaosMonkey"]:
+    """``with chaos(monkey):`` — scope the active monkey."""
+    activate(monkey)
+    try:
+        yield monkey
+    finally:
+        deactivate()
+
+
+class ChaosMonkey:
+    """Crashes the simulation the first time an armed point is reached."""
+
+    def __init__(self):
+        self._armed: str | None = None
+        self._skip = 0
+        #: Name of the point that fired, or None.
+        self.fired_at: str | None = None
+        #: Visit counters for every point passed while active.
+        self.hits: dict[str, int] = {}
+
+    @property
+    def fired(self) -> bool:
+        return self.fired_at is not None
+
+    def arm(self, name: str, *, skip: int = 0) -> None:
+        """Crash at the ``skip``-th subsequent passage of ``name``."""
+        if name not in _REGISTRY:
+            raise ValueError(f"unknown crash point {name!r}")
+        if skip < 0:
+            raise ValueError("skip cannot be negative")
+        self._armed = name
+        self._skip = skip
+        self.fired_at = None
+
+    def disarm(self) -> None:
+        self._armed = None
+
+    def visit(self, name: str) -> None:
+        self.hits[name] = self.hits.get(name, 0) + 1
+        if name != self._armed:
+            return
+        if self._skip > 0:
+            self._skip -= 1
+            return
+        # Latch before raising: recovery re-executes the same code paths
+        # and must be able to pass this point without crashing again.
+        self._armed = None
+        self.fired_at = name
+        raise SimulatedCrash(f"chaos: crash point {name!r} reached")
+
+
+# ---------------------------------------------------------------------------
+# The sweep harness
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CrashPointRun:
+    """Outcome of one crash-at-point replay."""
+
+    point: str
+    mode: str
+    #: Did the armed point actually fire during this replay?
+    fired: bool
+    #: Crashes that landed inside restart/recovery (crash-during-recovery).
+    nested_crashes: int
+    #: Stable commit count at verification time.
+    commits: int
+    #: Oracle digest matched the last committed state.
+    verified: bool
+    #: Points passed during the replay (diagnostics).
+    hits: dict[str, int] = field(default_factory=dict)
+
+
+class ChaosHarness:
+    """Replays a workload crashing at every registered point.
+
+    ``scenario_factory`` builds a fresh scenario and returns
+    ``(db, run_workload)`` — a loaded :class:`~repro.db.database.Database`
+    plus a zero-argument callable that runs the workload.  The factory is
+    invoked once per (point, mode) pair so replays are independent.
+    """
+
+    #: A crash during restart is retried; the monkey's latch guarantees
+    #: the second attempt passes, so two attempts suffice (the bound is
+    #: defensive).
+    MAX_RESTART_ATTEMPTS = 4
+
+    def __init__(
+        self,
+        scenario_factory: Callable[[], tuple[object, Callable[[], None]]],
+    ):
+        self._factory = scenario_factory
+
+    def run_point(self, point: str, mode: str = "on-demand") -> CrashPointRun:
+        """Crash one replay at ``point``, restart in ``mode``, verify."""
+        from repro.db.database import RecoveryMode
+        from repro.recovery.oracle import RecoveryVerifier
+
+        recovery_mode = (
+            RecoveryMode.EAGER if mode == "eager" else RecoveryMode.ON_DEMAND
+        )
+        db, run_workload = self._factory()
+        verifier = RecoveryVerifier(db)
+        monkey = ChaosMonkey()
+        monkey.arm(point)
+        nested = 0
+        with chaos(monkey):
+            try:
+                run_workload()
+            except SimulatedCrash:
+                pass
+            # Crash unconditionally: points on the restart path only fire
+            # during the recovery that follows.
+            if not db.crashed:
+                db.crash()
+            for _ in range(self.MAX_RESTART_ATTEMPTS):
+                try:
+                    if db.crashed:
+                        db.restart(recovery_mode)
+                    if db.restart_coordinator is not None:
+                        db.restart_coordinator.recover_everything()
+                    break
+                except SimulatedCrash:
+                    nested += 1
+                    db.crash()
+            else:  # pragma: no cover - latch guarantees termination
+                raise RecoveryError(
+                    f"crash point {point!r}: restart did not converge in "
+                    f"{self.MAX_RESTART_ATTEMPTS} attempts"
+                )
+        verifier.detach()
+        verifier.verify()
+        return CrashPointRun(
+            point=point,
+            mode=mode,
+            fired=monkey.fired,
+            nested_crashes=nested,
+            commits=db.slb.commits,
+            verified=True,
+            hits=dict(monkey.hits),
+        )
+
+    def sweep(
+        self,
+        modes: tuple[str, ...] = ("on-demand", "eager"),
+        points: list[str] | None = None,
+    ) -> list[CrashPointRun]:
+        """Run every (point, mode) combination; verification failures
+        raise, so a returned list means the whole sweep passed."""
+        results = []
+        for point in points if points is not None else sorted(_REGISTRY):
+            for mode in modes:
+                results.append(self.run_point(point, mode))
+        return results

@@ -17,9 +17,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common.checksum import open_frame, seal_frame
 from repro.common.config import DiskParameters
+from repro.common.errors import ChecksumError, MediaFailure
 from repro.sim.clock import VirtualClock
 from repro.sim.faults import TornWriteError
+
+#: Corruption kinds accepted by :meth:`SimulatedDisk.corrupt_block`.
+CORRUPTION_KINDS = ("torn", "bit-flip", "zero-fill", "stale-version")
 
 
 @dataclass
@@ -51,6 +56,10 @@ class _Block:
     data: bytes
     #: False when the block was the target of an injected torn write.
     intact: bool = True
+    #: The block's previous contents, kept so a "stale-version" corruption
+    #: can resurrect them (a write the drive acknowledged but never made
+    #: durable, leaving the old sector image in place).
+    previous: bytes | None = None
 
 
 class SimulatedDisk:
@@ -76,6 +85,44 @@ class SimulatedDisk:
         """Arrange for the next write to be torn (half-written)."""
         self._tear_next_write = True
 
+    def corrupt_block(self, block_id: int, kind: str = "bit-flip") -> None:
+        """Damage a stored block in place.
+
+        Kinds (:data:`CORRUPTION_KINDS`):
+
+        * ``"torn"`` — mark the block half-written (self-reporting read).
+        * ``"bit-flip"`` — flip one bit in the middle of the data; only a
+          checksum can catch this.
+        * ``"zero-fill"`` — replace the contents with zeros (a remapped
+          or never-written sector).
+        * ``"stale-version"`` — resurrect the block's previous contents
+          (a lost write); falls back to zero-fill when the block was
+          never overwritten.
+        """
+        try:
+            block = self._blocks[block_id]
+        except KeyError:
+            raise KeyError(f"disk {self.name!r} has no block {block_id}") from None
+        if kind == "torn":
+            block.intact = False
+        elif kind == "bit-flip":
+            data = bytearray(block.data)
+            if not data:
+                raise ValueError(f"block {block_id} is empty; nothing to flip")
+            data[len(data) // 2] ^= 0x40
+            block.data = bytes(data)
+        elif kind == "zero-fill":
+            block.data = b"\x00" * len(block.data)
+        elif kind == "stale-version":
+            if block.previous is not None:
+                block.data = block.previous
+            else:
+                block.data = b"\x00" * len(block.data)
+        else:
+            raise ValueError(
+                f"unknown corruption kind {kind!r}; expected one of {CORRUPTION_KINDS}"
+            )
+
     # -- writes ---------------------------------------------------------------
 
     def write_page(self, block_id: int, data: bytes, *, sibling: bool = False) -> None:
@@ -93,7 +140,9 @@ class SimulatedDisk:
     def _store(self, block_id: int, data: bytes) -> None:
         intact = not self._tear_next_write
         self._tear_next_write = False
-        self._blocks[block_id] = _Block(bytes(data), intact=intact)
+        old = self._blocks.get(block_id)
+        previous = old.data if old is not None and old.intact else None
+        self._blocks[block_id] = _Block(bytes(data), intact=intact, previous=previous)
         self.stats.bytes_written += len(data)
 
     def _account_write(self, seconds: float) -> None:
@@ -164,10 +213,13 @@ class SimulatedDisk:
 class DuplexedDisk:
     """A mirrored pair of log disks (paper section 2.2).
 
-    Writes go to both spindles; reads are served from the primary and fall
-    back to the mirror if the primary copy is torn.  Timing charges both
-    writes (the drives operate in parallel in the paper, but the simulation
-    is single-threaded, so we charge the slower — identical — of the two
+    Writes are CRC32-framed and go to both spindles; reads verify the
+    frame and are served from the primary, failing over to the mirror on
+    a torn write *or* a checksum mismatch.  When both copies are bad the
+    data is genuinely lost and :class:`~repro.common.errors.MediaFailure`
+    escalates to archive recovery.  Timing charges both writes (the
+    drives operate in parallel in the paper, but the simulation is
+    single-threaded, so we charge the slower — identical — of the two
     once and track the second on the mirror's own stats only).
     """
 
@@ -176,19 +228,41 @@ class DuplexedDisk:
             raise ValueError("a duplexed pair needs two distinct disks")
         self.primary = primary
         self.mirror = mirror
+        #: Reads served from the mirror after the primary copy was bad.
+        self.failovers = 0
 
     def write_page(self, block_id: int, data: bytes, *, sibling: bool = False) -> None:
-        self.primary.write_page(block_id, data, sibling=sibling)
+        framed = seal_frame(data)
+        self.primary.write_page(block_id, framed, sibling=sibling)
         # The mirror write overlaps the primary's in real hardware; store the
         # bytes without advancing the shared clock a second time.
         self.mirror.stats.page_writes += 1
-        self.mirror._store(block_id, data)
+        self.mirror._store(block_id, framed)
 
     def read_page(self, block_id: int, *, sibling: bool = False) -> bytes:
         try:
-            return self.primary.read_page(block_id, sibling=sibling)
-        except TornWriteError:
-            return self.mirror.read_page(block_id, sibling=sibling)
+            blob = self.primary.read_page(block_id, sibling=sibling)
+            return open_frame(blob, context=f"{self.primary.name} block {block_id}")
+        except (TornWriteError, ChecksumError, KeyError) as primary_error:
+            try:
+                blob = self.mirror.read_page(block_id, sibling=sibling)
+                payload = open_frame(
+                    blob, context=f"{self.mirror.name} block {block_id}"
+                )
+            except (TornWriteError, ChecksumError, KeyError) as mirror_error:
+                if isinstance(primary_error, KeyError) and isinstance(
+                    mirror_error, KeyError
+                ):
+                    # Never written anywhere: keep the "no such block" shape.
+                    raise KeyError(
+                        f"duplexed pair has no block {block_id}"
+                    ) from mirror_error
+                raise MediaFailure(
+                    f"both copies of block {block_id} are unreadable "
+                    f"(primary: {primary_error}; mirror: {mirror_error})"
+                ) from mirror_error
+            self.failovers += 1
+            return payload
 
     def contains(self, block_id: int) -> bool:
         return self.primary.contains(block_id) or self.mirror.contains(block_id)

@@ -58,10 +58,17 @@ class CrashInjector:
             return
         self._remaining -= 1
         if self._remaining <= 0:
+            # Latch before the callback: if ``on_crash`` re-enters tick()
+            # (e.g. it flushes through an instrumented path) the injector
+            # must not fire a second time, and the crash must propagate
+            # even when the callback itself raises.
             self.fired = True
-            if self._on_crash is not None:
-                self._on_crash()
-            raise SimulatedCrash("injected crash point reached")
+            self._remaining = None
+            try:
+                if self._on_crash is not None:
+                    self._on_crash()
+            finally:
+                raise SimulatedCrash("injected crash point reached")
 
     def disarm(self) -> None:
         self._remaining = None
@@ -70,4 +77,9 @@ class CrashInjector:
         if after_operations < 1:
             raise ValueError("after_operations must be at least 1")
         self._remaining = after_operations
+        self.fired = False
+
+    def reset(self) -> None:
+        """Return to the pristine disabled state (harness reuse)."""
+        self._remaining = None
         self.fired = False

@@ -6,6 +6,7 @@ import contextlib
 from typing import TYPE_CHECKING, Iterator
 
 from repro.common.errors import TransactionStateError
+from repro.sim.faults import SimulatedCrash
 from repro.txn.transaction import Transaction, TxnState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -50,6 +51,11 @@ class TransactionManager:
         txn = self.begin()
         try:
             yield txn
+        except SimulatedCrash:
+            # The machine died mid-flight: no abort machinery runs — the
+            # transaction's volatile state is lost with main memory and
+            # its uncommitted SLB chain is discarded at restart.
+            raise
         except BaseException:
             if txn.state is TxnState.ACTIVE:
                 txn.abort()

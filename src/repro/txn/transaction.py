@@ -23,8 +23,19 @@ from typing import TYPE_CHECKING
 from repro.common.errors import TransactionAborted, TransactionStateError
 from repro.common.types import EntityAddress, PartitionAddress
 from repro.concurrency.locks import LockMode
+from repro.sim.chaos import crash_point, register_crash_point
+from repro.sim.faults import SimulatedCrash
 from repro.wal import records as redo
 from repro.wal import undo
+
+register_crash_point(
+    "txn.commit.before-slb",
+    "commit() entered, before the SLB chain moves to the committed list",
+)
+register_crash_point(
+    "txn.commit.after-slb",
+    "chain on the committed list, before locks release / undo discard",
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.database import Database
@@ -97,8 +108,15 @@ class Transaction:
     def commit(self) -> None:
         """Instant commit: the REDO chain is already stable."""
         self._ensure_active()
+        crash_point("txn.commit.before-slb")
         self.db.slb.commit(self.txn_id)
         self.state = TxnState.COMMITTED
+        observer = self.db.commit_observer
+        if observer is not None:
+            # The oracle snapshots committed state here: durable the
+            # instant the chain moved lists, before any crash window.
+            observer(self)
+        crash_point("txn.commit.after-slb")
         self._undo.clear()  # UNDO information is discarded at commit
         self.db.locks.release_all(self.txn_id)
         self.db.audit.record(self.txn_id, "commit", self.db.clock.now)
@@ -154,6 +172,11 @@ class Transaction:
         self._undo.append(undo_record)
         try:
             self.db.append_log(self.txn_id, record)
+        except SimulatedCrash:
+            # A crash freezes the machine: it must never be downgraded
+            # to a transaction abort (back-pressure draining runs
+            # instrumented recovery-CPU code inside append_log).
+            raise
         except Exception as exc:
             self.abort()
             raise TransactionAborted(

@@ -22,7 +22,17 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import LogError, LogWindowOverrunError
 from repro.common.types import NULL_LSN, PartitionAddress
+from repro.sim.chaos import crash_point, register_crash_point
 from repro.sim.disk import DuplexedDisk
+
+register_crash_point(
+    "log-disk.append.before-write",
+    "LSN assigned, page not yet on either spindle",
+)
+register_crash_point(
+    "log-disk.append.after-write",
+    "page durable on both spindles, window not yet advanced",
+)
 from repro.wal.records import (
     RedoRecord,
     decode_records,
@@ -163,7 +173,9 @@ class LogDisk:
         window, and archive any page that just fell out."""
         page.lsn = self._next_lsn
         self._next_lsn += 1
+        crash_point("log-disk.append.before-write")
         self.disks.write_page(page.lsn, page.encode(), sibling=True)
+        crash_point("log-disk.append.after-write")
         self.pages_written += 1
         self._reclaim_expired()
         return page.lsn
@@ -237,7 +249,10 @@ class LogDisk:
     def _reclaim_expired(self) -> None:
         start = self.window_start
         for lsn in [b for b in self.disks.block_ids() if b < start]:
-            blob = self.disks.primary.read_page(lsn, sibling=True)
+            # Verified duplex read: the archive must never inherit a
+            # corrupt copy, and a bad primary must not stop archival
+            # while the mirror still holds the page.
+            blob = self.disks.read_page(lsn, sibling=True)
             self.archive.accept(lsn, blob)
             self.disks.free(lsn)
 

@@ -137,8 +137,16 @@ class TupleInsert(RedoRecord):
         return self.address.partition_address
 
     def apply(self, partition: Partition) -> None:
+        # Upsert: after a crash the replayed log may repeat a prefix of
+        # records already reflected in the recovered image (a page written
+        # but not yet noted, or an image newer than part of its log).
+        # Full-order replay makes the last writer win, so re-installing at
+        # an occupied offset is safe; offsets are never reused.
         self._check_address(self.partition_address, partition)
-        partition.insert_at(self.address.offset, self.data)
+        if self.address.offset in partition:
+            partition.update(self.address.offset, self.data)
+        else:
+            partition.insert_at(self.address.offset, self.data)
 
     def _payload(self) -> bytes:
         return _encode_entity(self.address) + _encode_blob(self.data)
@@ -192,8 +200,10 @@ class TupleDelete(RedoRecord):
         return self.address.partition_address
 
     def apply(self, partition: Partition) -> None:
+        # Tolerates an already-deleted tuple (duplicate replay prefix).
         self._check_address(self.partition_address, partition)
-        partition.delete(self.address.offset)
+        if self.address.offset in partition:
+            partition.delete(self.address.offset)
 
     def _payload(self) -> bytes:
         return _encode_entity(self.address)
@@ -272,8 +282,14 @@ class HeapPut(RedoRecord):
         return self.partition
 
     def apply(self, partition: Partition) -> None:
+        # Upsert on duplicate replay prefix (see TupleInsert.apply): a
+        # later HeapReplace may already be reflected in the image, so the
+        # occupied bytes can legitimately differ — last writer wins.
         self._check_address(self.partition, partition)
-        partition.heap.put_at(self.handle, self.data)
+        if self.handle in partition.heap:
+            partition.heap.replace(self.handle, self.data)
+        else:
+            partition.heap.put_at(self.handle, self.data)
 
     def _payload(self) -> bytes:
         return (
@@ -343,8 +359,10 @@ class HeapDelete(RedoRecord):
         return self.partition
 
     def apply(self, partition: Partition) -> None:
+        # Tolerates an already-deleted handle (duplicate replay prefix).
         self._check_address(self.partition, partition)
-        partition.heap.delete(self.handle)
+        if self.handle in partition.heap:
+            partition.heap.delete(self.handle)
 
     def _payload(self) -> bytes:
         return _PARTITION.pack(

@@ -216,6 +216,24 @@ class StableLogBuffer:
             self._free_chain(chain)
         return drained
 
+    def requeue_committed(self, records: list[RedoRecord]) -> None:
+        """Return drained-but-unsorted records to the head of the
+        committed list.
+
+        The recovery CPU's SLB → SLT move is a stable-to-stable transfer:
+        when a crash interrupts its sorting loop, records it drained but
+        never deposited must reappear for the post-restart drain, in their
+        original commit order, or committed work would be lost.
+        """
+        if not records:
+            return
+        chain = TransactionLogChain(-1, self.block_size)
+        for record in records:
+            if not chain.fits_in_current(record):
+                self._allocate_block(chain)
+            chain.append_to_current(record)
+        self._committed.insert(0, chain)
+
     def _retain_tail(self, chain: TransactionLogChain, tail: list[RedoRecord]) -> None:
         """Rebuild the head chain to contain only its undrained records."""
         self._free_chain(chain)

@@ -172,6 +172,10 @@ class StableLogTail:
 
         If the current directory group is full, the new page embeds that
         group's directory and will start a new group once its LSN is known.
+
+        The buffered records stay in the stable bin until
+        :meth:`note_page_written` confirms the page is durable on the log
+        disk — a crash between seal and write must not lose them.
         """
         bin_ = self.bin(bin_index)
         if not bin_.buffer:
@@ -186,15 +190,21 @@ class StableLogTail:
             records=list(bin_.buffer),
             embedded_directory=embedded,
         )
-        bin_.buffer.clear()
-        bin_.buffer_bytes = 0
         self.pages_sealed += 1
         return page
 
-    def note_page_written(self, bin_index: int, lsn: int) -> None:
-        """Record a flushed page: update the directory, first-LSN monitor,
-        and the First-LSN list used for age triggers."""
+    def note_page_written(
+        self, bin_index: int, lsn: int, flushed_records: int | None = None
+    ) -> None:
+        """Record a flushed page: drain the now-durable records from the
+        bin buffer and update the directory, first-LSN monitor, and the
+        First-LSN list used for age triggers."""
         bin_ = self.bin(bin_index)
+        if flushed_records is None:
+            flushed_records = len(bin_.buffer)
+        flushed = bin_.buffer[:flushed_records]
+        del bin_.buffer[:flushed_records]
+        bin_.buffer_bytes -= sum(record.size_bytes for record in flushed)
         if bin_.first_page_lsn == NULL_LSN:
             bin_.first_page_lsn = lsn
             heapq.heappush(self._first_lsn_heap, (lsn, bin_index))

@@ -376,6 +376,76 @@ class TestPartialDrainCrash:
             for i in range(20):
                 assert t.lookup(txn, i)["balance"] == i + 100
 
+    def test_crash_during_recovery_is_restartable(self, db):
+        """A second crash landing *inside* restart must leave the system
+        restartable, and the eventual recovery must produce exactly the
+        same committed state (same oracle digest) as an undisturbed one."""
+        from repro.recovery.oracle import RecoveryVerifier
+        from repro.sim.chaos import ChaosMonkey, chaos
+        from repro.sim.faults import SimulatedCrash
+
+        accounts = make_accounts(db)
+        verifier = RecoveryVerifier(db)
+        with db.transaction() as txn:
+            addrs = {
+                i: accounts.insert(txn, {"id": i, "balance": 0, "owner": "o"})
+                for i in range(30)
+            }
+        for i in range(30):
+            with db.transaction() as txn:
+                accounts.update(txn, addrs[i], {"balance": i + 1})
+        expected = verifier.expected_digest()
+        db.crash()
+
+        monkey = ChaosMonkey()
+        monkey.arm("restart.phase2.partition-recovered")
+        with chaos(monkey):
+            with pytest.raises(SimulatedCrash):
+                db.restart(RecoveryMode.EAGER)
+            assert monkey.fired_at == "restart.phase2.partition-recovered"
+            # the nested crash leaves a restartable system ...
+            db.crash()
+            # ... and the latched monkey lets the retry pass the same point
+            db.restart(RecoveryMode.EAGER)
+        verifier.detach()
+        verifier.verify()
+        assert verifier.expected_digest() == expected
+        with db.transaction() as txn:
+            t = db.table("accounts")
+            for i in range(30):
+                assert t.lookup(txn, i)["balance"] == i + 1
+
+    def test_crash_during_phase1_log_drain_is_restartable(self, db):
+        """Same property for a crash in restart phase 1 (log drain), which
+        runs before any partition comes back."""
+        from repro.recovery.oracle import RecoveryVerifier
+        from repro.sim.chaos import ChaosMonkey, chaos
+        from repro.sim.faults import SimulatedCrash
+
+        accounts = make_accounts(db)
+        verifier = RecoveryVerifier(db)
+        with db.transaction() as txn:
+            for i in range(25):
+                accounts.insert(txn, {"id": i, "balance": i, "owner": "p"})
+        # leave a committed backlog in the SLB so phase 1 has work to do
+        with db.transaction(pump=False) as txn:
+            accounts.insert(txn, {"id": 99, "balance": 999, "owner": "q"})
+        db.crash()
+
+        monkey = ChaosMonkey()
+        monkey.arm("restart.phase1.log-drained")
+        with chaos(monkey):
+            with pytest.raises(SimulatedCrash):
+                db.restart()
+            db.crash()
+            db.restart()
+            # on-demand mode: fault the rest in so the digest can be taken
+            db.restart_coordinator.recover_everything()
+        verifier.detach()
+        verifier.verify()
+        with db.transaction() as txn:
+            assert db.table("accounts").lookup(txn, 99)["balance"] == 999
+
     def test_hash_index_with_string_keys_survives_splits_and_crash(self, db):
         rel = db.create_relation(
             "users", [("name", "str"), ("age", "int")], primary_key="name"

@@ -177,8 +177,11 @@ class TestDuplexedDisk:
     def test_write_reaches_both(self):
         pair = self._pair()
         pair.write_page(1, b"data")
-        assert pair.primary.read_page(1) == b"data"
-        assert pair.mirror.read_page(1) == b"data"
+        assert pair.primary.contains(1)
+        assert pair.mirror.contains(1)
+        # both spindles hold the identical CRC-framed bytes
+        assert pair.primary.read_page(1) == pair.mirror.read_page(1)
+        assert pair.read_page(1) == b"data"
 
     def test_torn_primary_served_from_mirror(self):
         pair = self._pair()
@@ -277,3 +280,54 @@ class TestCrashInjector:
     def test_invalid_countdown_rejected(self):
         with pytest.raises(ValueError):
             CrashInjector(after_operations=0)
+
+    def test_reentrant_tick_from_on_crash_fires_once(self):
+        """An on_crash callback that flushes through an instrumented path
+        re-enters tick(); the latch must keep the injector from firing a
+        second (nested) SimulatedCrash inside the callback."""
+        injector = CrashInjector(after_operations=1)
+        reentries = []
+
+        def flush_through_instrumented_path():
+            injector.tick()  # must be silent: we are already crashing
+            reentries.append(1)
+
+        injector._on_crash = flush_through_instrumented_path
+        with pytest.raises(SimulatedCrash):
+            injector.tick()
+        assert reentries == [1]
+        assert injector.fired
+
+    def test_on_crash_raising_still_propagates_crash(self):
+        """The callback runs before propagation, but a buggy callback must
+        not swallow the crash."""
+
+        def bad_callback():
+            raise RuntimeError("callback exploded")
+
+        injector = CrashInjector(after_operations=1, on_crash=bad_callback)
+        with pytest.raises(SimulatedCrash):
+            injector.tick()
+        assert injector.fired
+
+    def test_reset_returns_to_pristine_disabled_state(self):
+        injector = CrashInjector(after_operations=1)
+        with pytest.raises(SimulatedCrash):
+            injector.tick()
+        injector.reset()
+        assert not injector.fired
+        assert not injector.armed
+        for _ in range(100):
+            injector.tick()  # disabled again: never fires
+        assert not injector.fired
+
+    def test_armed_property(self):
+        injector = CrashInjector(after_operations=2)
+        assert injector.armed
+        injector.disarm()
+        assert not injector.armed
+        injector.rearm(1)
+        assert injector.armed
+        with pytest.raises(SimulatedCrash):
+            injector.tick()
+        assert not injector.armed
