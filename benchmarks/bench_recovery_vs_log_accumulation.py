@@ -12,7 +12,6 @@ since its last checkpoint.
 """
 
 from repro import Database, SystemConfig
-from repro.common import PartitionAddress
 
 UPDATE_COUNTS = [0, 100, 400, 800]
 

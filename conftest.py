@@ -1,0 +1,9 @@
+"""Repo-root conftest: registers the repro-check pytest plugin.
+
+Lives at the root (not under ``tests/``) because ``pytest_addoption``
+hooks are only honoured in rootdir conftests and installed plugins.
+Run the suite with ``--lock-audit`` to enable dynamic lock-order
+auditing (see ``docs/STATIC_ANALYSIS.md``).
+"""
+
+pytest_plugins = ["tools.repro_check.pytest_plugin"]

@@ -17,7 +17,17 @@ from __future__ import annotations
 from repro.common.checksum import open_frame, seal_frame
 from repro.common.errors import CheckpointError
 from repro.concurrency.latch import Latch
+from repro.sim.chaos import crash_point, register_crash_point
 from repro.sim.disk import SimulatedDisk
+
+register_crash_point(
+    "checkpoint.image.before-write",
+    "slot allocated and installed, image not yet on the checkpoint disk",
+)
+register_crash_point(
+    "checkpoint.image.after-write",
+    "image durable in its slot, checkpoint transaction not yet committed",
+)
 
 
 class CheckpointDiskQueue:
@@ -67,7 +77,9 @@ class CheckpointDiskQueue:
         """
         if slot not in self._occupied:
             raise CheckpointError(f"slot {slot} was not allocated")
+        crash_point("checkpoint.image.before-write")
         self.disk.write_track(slot, seal_frame(image))
+        crash_point("checkpoint.image.after-write")
 
     def read_image(self, slot: int) -> bytes:
         """Read and verify one image; raises

@@ -11,7 +11,8 @@ are detected immediately on a waits-for cycle and surface as
 :class:`~repro.common.errors.DeadlockError` on the requester.
 """
 
+from repro.concurrency import audit
 from repro.concurrency.locks import LockManager, LockMode
 from repro.concurrency.latch import Latch
 
-__all__ = ["Latch", "LockManager", "LockMode"]
+__all__ = ["Latch", "LockManager", "LockMode", "audit"]

@@ -16,6 +16,7 @@ transaction must not hold a latch across a recovery wait is enforced by
 from __future__ import annotations
 
 from repro.common.errors import ReproError
+from repro.concurrency import audit
 
 
 class LatchViolationError(ReproError):
@@ -38,6 +39,7 @@ class Latch:
             )
         self._owner = owner
         self.acquisitions += 1
+        audit.latch_acquired(owner, self.name)
 
     def release(self, owner: int) -> None:
         if self._owner != owner:
@@ -45,6 +47,7 @@ class Latch:
                 f"latch {self.name!r} released by {owner} but held by {self._owner}"
             )
         self._owner = None
+        audit.latch_released(owner, self.name)
 
     @property
     def held(self) -> bool:

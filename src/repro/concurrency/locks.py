@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Hashable
 
 from repro.common.errors import ConcurrencyError, DeadlockError, LockNotHeldError
+from repro.concurrency import audit
 
 Resource = Hashable
 
@@ -123,7 +124,7 @@ class LockManager:
         """
         state = self._locks.setdefault(resource, _LockState())
         if self._can_grant(state, txn_id, mode):
-            self._grant(state, txn_id, resource, mode)
+            self._grant(state, txn_id, resource, mode, blocking=wait)
             return True
         if not wait:
             return False
@@ -157,11 +158,18 @@ class LockManager:
         return state.compatible_with_others(txn_id, mode)
 
     def _grant(
-        self, state: _LockState, txn_id: int, resource: Resource, mode: LockMode
+        self,
+        state: _LockState,
+        txn_id: int,
+        resource: Resource,
+        mode: LockMode,
+        *,
+        blocking: bool,
     ) -> None:
         held = state.holders.get(txn_id)
         state.holders[txn_id] = mode if held is None else _join(held, mode)
         self._held_by_txn.setdefault(txn_id, set()).add(resource)
+        audit.lock_acquired(txn_id, resource, blocking=blocking)
 
     # -- deadlock detection ------------------------------------------------------
 
@@ -206,11 +214,13 @@ class LockManager:
             raise LockNotHeldError(f"txn {txn_id} does not hold {resource!r}")
         del state.holders[txn_id]
         self._held_by_txn[txn_id].discard(resource)
+        audit.lock_released(txn_id, resource)
         self._wake_waiters(resource, state)
 
     def release_all(self, txn_id: int) -> None:
         """Release every lock of a committing or aborting transaction."""
         self._cancel_wait(txn_id)
+        audit.locks_dropped(txn_id)
         for resource in self._held_by_txn.pop(txn_id, set()):
             state = self._locks[resource]
             state.holders.pop(txn_id, None)
@@ -235,7 +245,7 @@ class LockManager:
                 break
             state.waiters.popleft()
             del self._waiting_on[txn_id]
-            self._grant(state, txn_id, resource, mode)
+            self._grant(state, txn_id, resource, mode, blocking=True)
         if not state.holders and not state.waiters:
             del self._locks[resource]
 
@@ -258,6 +268,8 @@ class LockManager:
 
     def crash(self) -> None:
         """Lose all lock state (lock tables are volatile)."""
+        for txn_id in list(self._held_by_txn):
+            audit.locks_dropped(txn_id)
         self._locks.clear()
         self._held_by_txn.clear()
         self._waiting_on.clear()

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.catalog.schema import NULL_HANDLE
-from repro.common.errors import IndexStructureError, ReproError
+from repro.common.errors import IndexStructureError, ReproError, StorageError
 from repro.common.types import EntityAddress
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -58,7 +58,7 @@ def _check_catalog_segments(db: "Database") -> list[str]:
         catalogued_segments.add(descriptor.segment_id)
         try:
             segment = db.memory.segment(descriptor.segment_id)
-        except ReproError:
+        except StorageError:
             problems.append(
                 f"{descriptor.name}: segment {descriptor.segment_id} not registered"
             )

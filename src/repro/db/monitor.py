@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.common.errors import StorageError
 from repro.common.units import format_bytes, format_seconds
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -80,7 +81,7 @@ class Monitor:
             ):
                 try:
                     segment = db.memory.segment(descriptor.segment_id)
-                except Exception:  # segment gone mid-recovery
+                except StorageError:  # segment gone mid-recovery
                     continue
                 per_object[descriptor.name] = {
                     "partitions": len(descriptor.partitions),

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.catalog.catalog import Catalog, IndexDescriptor
-from repro.common.errors import ChecksumError, RecoveryError, ReproError, StorageError
+from repro.common.errors import ChecksumError, RecoveryError, StorageError
 from repro.sim.chaos import crash_point, register_crash_point
 from repro.sim.faults import TornWriteError
 from repro.common.types import PartitionAddress, SegmentKind
@@ -135,7 +135,7 @@ class RestartCoordinator:
         db = self.db
         try:
             segment = db.memory.segment(address.segment)
-        except ReproError:
+        except StorageError:
             # the object was dropped while awaiting recovery: nothing to do
             return None
         if segment.is_resident(address.partition):

@@ -36,6 +36,12 @@ _REGISTRY: dict[str, str] = {}
 #: The monkey currently observing crash points (None = all hooks free).
 _active: "ChaosMonkey | None" = None
 
+#: Passive observer of crash-point passages (the --lock-audit recorder
+#: uses this to flag latches held across crash boundaries).  Unlike the
+#: monkey it never raises; like the monkey it costs one global read and a
+#: ``None`` check when unset.
+_observer: "Callable[[str], None] | None" = None
+
 
 def register_crash_point(name: str, description: str) -> str:
     """Declare a crash point (idempotent; called at module import)."""
@@ -53,9 +59,18 @@ def registered_crash_points() -> dict[str, str]:
 
 def crash_point(name: str) -> None:
     """Hook threaded through hot transitions.  Near-free when disabled."""
+    observer = _observer
+    if observer is not None:
+        observer(name)
     monkey = _active
     if monkey is not None:
         monkey.visit(name)
+
+
+def set_crash_point_observer(observer: "Callable[[str], None] | None") -> None:
+    """Install (or, with None, remove) the passive crash-point observer."""
+    global _observer
+    _observer = observer
 
 
 def activate(monkey: "ChaosMonkey") -> None:

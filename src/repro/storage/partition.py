@@ -67,7 +67,12 @@ class Partition:
     # -- entity operations -------------------------------------------------------
 
     def insert(self, data: bytes) -> int:
-        """Store a new entity; returns its offset."""
+        """Store a new entity; returns its offset.
+
+        Lock discipline: the caller holds an X lock on the new entity's
+        address and an IX lock on the owning relation (section 2.3.2);
+        storage itself is lock-free.
+        """
         offset = self._next_offset
         self.insert_at(offset, data)
         return offset
@@ -77,6 +82,10 @@ class Partition:
 
         Normal inserts go through :meth:`insert`; recovery re-applies the
         offset recorded in the log so replayed state is byte-identical.
+
+        Lock discipline: same as :meth:`insert` on the normal path; the
+        replay path runs before the partition is published, so no lock is
+        required there.
         """
         if offset in self._entities:
             raise StorageError(f"{self.address} offset {offset} is occupied")
@@ -106,12 +115,20 @@ class Partition:
         must be accommodated where it lives.  Inserts stay hard-capped,
         which keeps partitions at their fixed size; the overflow is
         bounded by the largest single component's growth.
+
+        Lock discipline: the caller holds an X lock on the entity's
+        address, two-phase until commit (section 2.3.2).
         """
         old = self.read(offset)
         self._entities[offset] = bytes(data)
         self._used += len(data) - len(old)
 
     def delete(self, offset: int) -> None:
+        """Remove the entity at ``offset``.
+
+        Lock discipline: the caller holds an X lock on the entity's
+        address, two-phase until commit (section 2.3.2).
+        """
         data = self.read(offset)
         del self._entities[offset]
         self._used -= len(data) + ENTITY_HEADER_BYTES

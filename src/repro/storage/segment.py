@@ -52,7 +52,12 @@ class Segment:
         return self.partition_size - heap_capacity, heap_capacity
 
     def allocate_partition(self) -> Partition:
-        """Create the next partition of this segment."""
+        """Create the next partition of this segment.
+
+        Lock discipline: the caller holds an IX (or stronger) lock on the
+        owning relation; concurrent checkpointers are excluded by their
+        relation read lock (section 2.4, step 3).
+        """
         number = self._next_partition
         self._next_partition += 1
         partition = Partition(
@@ -64,7 +69,12 @@ class Segment:
         return partition
 
     def install(self, partition: Partition) -> None:
-        """Install a recovered partition (post-crash path)."""
+        """Install a recovered partition (post-crash path).
+
+        Lock discipline: none — recovery transactions own the partition
+        exclusively until it is installed here, and normal transactions
+        cannot see it before installation (section 2.5).
+        """
         if partition.address.segment != self.segment_id:
             raise StorageError(
                 f"partition {partition.address} does not belong to segment "
@@ -77,14 +87,22 @@ class Segment:
             self._next_partition = number + 1
 
     def mark_missing(self, numbers: list[int]) -> None:
-        """Record partitions known to the catalog but not yet recovered."""
+        """Record partitions known to the catalog but not yet recovered.
+
+        Lock discipline: none — runs during restart phase 1, before any
+        user transaction (or lock manager) exists.
+        """
         self._missing.update(numbers)
         for number in numbers:
             if number >= self._next_partition:
                 self._next_partition = number + 1
 
     def evict_all(self) -> None:
-        """Drop every resident partition (crash simulation)."""
+        """Drop every resident partition (crash simulation).
+
+        Lock discipline: none — models the loss of main memory itself;
+        the lock tables vanish in the same instant (they are volatile).
+        """
         self._missing.update(self._partitions)
         self._partitions.clear()
 

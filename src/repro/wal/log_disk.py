@@ -190,7 +190,12 @@ class LogDisk:
         lsn = self._next_lsn
         self._next_lsn += 1
         header = _PAGE_HEADER.pack(marker_segment, 0, lsn, 0, len(body))
+        # Same crash bracket as append_page: opaque pages share the LSN
+        # space and the duplexed write path, so the sweep exercises a
+        # crash on both sides of the write here too.
+        crash_point("log-disk.append.before-write")
         self.disks.write_page(lsn, header + body, sibling=True)
+        crash_point("log-disk.append.after-write")
         self.pages_written += 1
         self._reclaim_expired()
         return lsn

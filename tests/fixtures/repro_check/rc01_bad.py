@@ -1,0 +1,9 @@
+# repro-check: module=repro.wal.fixture_bad
+"""RC01 bad fixture: a durable write with no crash_point in scope."""
+
+from repro.common.checksum import seal_frame
+
+
+class Writer:
+    def flush(self, disk, lsn, payload):
+        disk.write_page(lsn, seal_frame(payload), sibling=True)  # no crash bracket

@@ -1,0 +1,12 @@
+# repro-check: module=repro.wal.fixture_good
+"""RC01 good fixture: the write is bracketed by crash points."""
+
+from repro.common.checksum import seal_frame
+from repro.sim.chaos import crash_point
+
+
+class Writer:
+    def flush(self, disk, lsn, payload):
+        crash_point("fixture.before-write")
+        disk.write_page(lsn, seal_frame(payload), sibling=True)
+        crash_point("fixture.after-write")

@@ -1,0 +1,6 @@
+# repro-check: module=repro.db.fixture_bad
+"""RC02 bad fixture: a raw disk write outside the framing layer."""
+
+
+def persist(disk, slot, image):
+    disk.write_track(slot, image)  # bypasses CRC32 framing

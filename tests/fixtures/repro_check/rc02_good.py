@@ -1,0 +1,8 @@
+# repro-check: module=repro.db.fixture_good
+"""RC02 good fixture: the payload is sealed at the call site."""
+
+from repro.common.checksum import seal_frame
+
+
+def persist(disk, slot, image):
+    disk.write_track(slot, seal_frame(image))

@@ -1,0 +1,9 @@
+# repro-check: module=repro.txn.fixture_bad
+"""RC03 bad fixture: wall-clock and ambient randomness in core code."""
+
+import random
+import time
+
+
+def jittered_now():
+    return time.time() + random.random()

@@ -1,0 +1,8 @@
+# repro-check: module=repro.workloads.fixture_good
+"""RC03 good fixture: workloads own their seeded randomness."""
+
+import random
+
+
+def make_generator(seed):
+    return random.Random(seed)

@@ -1,0 +1,16 @@
+# repro-check: module=repro.db.fixture_bad
+"""RC04 bad fixture: swallow-all handlers that never re-raise."""
+
+
+def quiet(action):
+    try:
+        action()
+    except Exception:
+        return None
+
+
+def very_quiet(action):
+    try:
+        action()
+    except:  # noqa: E722
+        pass

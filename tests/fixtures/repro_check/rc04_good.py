@@ -1,0 +1,28 @@
+# repro-check: module=repro.db.fixture_good
+"""RC04 good fixture: narrow catches, or broad catches that re-raise."""
+
+
+class FixtureError(Exception):
+    pass
+
+
+def narrow(action):
+    try:
+        action()
+    except FixtureError:
+        return None
+
+
+def abort_then_reraise(action, txn):
+    try:
+        action()
+    except BaseException:
+        txn.abort()
+        raise
+
+
+def transform(action):
+    try:
+        action()
+    except Exception as exc:
+        raise FixtureError("wrapped") from exc

@@ -1,0 +1,4 @@
+# repro-check: module=repro.txn.fixture_good
+"""RC05 good fixture: only the passive registry surface is imported."""
+
+from repro.sim.chaos import crash_point, register_crash_point  # noqa: F401

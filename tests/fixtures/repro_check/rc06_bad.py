@@ -1,0 +1,19 @@
+# repro-check: module=repro.storage.fixture_bad
+"""RC06 bad fixture: a mutator with no lock-mode contract."""
+
+
+class Partition:
+    def __init__(self):
+        self._entities = {}
+
+    def insert(self, offset, data):
+        """Store an entity."""
+        self._entities[offset] = data
+
+    def insert_front(self, data):
+        """Mutates only through another mutator (propagation case)."""
+        self.insert(0, data)
+
+    def read(self, offset):
+        """Pure read: not flagged."""
+        return self._entities[offset]

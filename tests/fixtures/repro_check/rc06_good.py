@@ -1,0 +1,19 @@
+# repro-check: module=repro.storage.fixture_good
+"""RC06 good fixture: mutators document or assert their lock mode."""
+
+
+class Segment:
+    def __init__(self):
+        self._partitions = {}
+        self.lock_mode = None
+
+    def install(self, number, partition):
+        """Install a partition.
+
+        Lock discipline: caller holds the relation read lock.
+        """
+        self._partitions[number] = partition
+
+    def evict(self, number):
+        assert self.lock_mode == "X"  # lock asserted, not documented
+        del self._partitions[number]

@@ -1,0 +1,11 @@
+# repro-check: module=repro.db.fixture_suppressed
+"""Suppression fixture: every violation here carries an ignore comment."""
+
+import time  # repro-check: ignore[RC03]
+
+
+def quiet(action):
+    try:
+        action()
+    except Exception:  # repro-check: ignore
+        return time.time()

@@ -1,0 +1,10 @@
+# repro-check: module=repro.db.fixture_suppressed_file
+# repro-check: ignore-file[RC03]
+"""File-level suppression fixture: RC03 is off for the whole file."""
+
+import random
+import time
+
+
+def jitter():
+    return time.time() + random.random()

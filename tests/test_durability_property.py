@@ -6,7 +6,6 @@ model rebuilt from exactly the transactions that committed — never more,
 never less.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

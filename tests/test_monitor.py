@@ -99,6 +99,7 @@ class TestReport:
 
 
 class TestLatchRule:
+    @pytest.mark.no_lock_audit  # deliberately holds a latch across recovery
     def test_recovery_wait_rejected_while_latch_held(self):
         """Section 2.5: a transaction holding a latch must not wait on
         partition recovery."""

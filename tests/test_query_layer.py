@@ -4,7 +4,7 @@ import pytest
 
 from repro import Database
 from repro.common import CatalogError
-from repro.db import Query, hash_join, nested_loop_join
+from repro.db import hash_join, nested_loop_join
 
 
 @pytest.fixture()

@@ -1,0 +1,190 @@
+"""Tests for the repro-check static analysis engine and its six rules.
+
+Each rule has a bad fixture (must fire) and a good fixture (must stay
+clean under *every* rule) in ``tests/fixtures/repro_check/``.  The
+fixtures use ``# repro-check: module=`` overrides so path-scoped rules
+see the module names they guard even though the files live under tests/.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from tools.repro_check.__main__ import main
+from tools.repro_check.engine import SourceFile, _infer_module, run_paths
+from tools.repro_check.findings import render_json, render_text
+from tools.repro_check.rules import all_rules, get_rules
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = REPO / "tests" / "fixtures" / "repro_check"
+
+ALL_RULE_IDS = {"RC01", "RC02", "RC03", "RC04", "RC05", "RC06"}
+
+
+def findings_for(path: Path, rules=None):
+    source = SourceFile.parse(path)
+    selected = get_rules(rules) if rules else all_rules()
+    out = []
+    for rule_cls in selected:
+        out.extend(f for f in rule_cls.run(source) if not source.suppressed(f))
+    return out
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        assert {r.rule_id for r in all_rules()} == ALL_RULE_IDS
+
+    def test_get_rules_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="RC99"):
+            get_rules(["RC99"])
+
+    def test_every_rule_has_title_and_rationale(self):
+        for rule_cls in all_rules():
+            assert rule_cls.title
+            assert rule_cls.rationale
+
+
+class TestRulesOnFixtures:
+    """Acceptance criterion: every rule has at least one failing fixture."""
+
+    # (rule id, expected finding count in the bad fixture)
+    CASES = [
+        ("RC01", 1),  # one unbracketed write_page
+        ("RC02", 1),  # one unframed write_track
+        ("RC03", 2),  # import random + import time
+        ("RC04", 2),  # except Exception + bare except
+        ("RC05", 2),  # ChaosMonkey + activate
+        ("RC06", 2),  # direct mutator + propagated mutator
+    ]
+
+    @pytest.mark.parametrize("rule_id,expected", CASES)
+    def test_bad_fixture_fires(self, rule_id, expected):
+        path = FIXTURES / f"{rule_id.lower()}_bad.py"
+        findings = findings_for(path)
+        assert len(findings) == expected, render_text(findings)
+        assert {f.rule for f in findings} == {rule_id}
+
+    @pytest.mark.parametrize("rule_id", sorted(ALL_RULE_IDS))
+    def test_good_fixture_clean_under_every_rule(self, rule_id):
+        path = FIXTURES / f"{rule_id.lower()}_good.py"
+        findings = findings_for(path)
+        assert findings == [], render_text(findings)
+
+    def test_findings_carry_location(self):
+        (finding,) = findings_for(FIXTURES / "rc01_bad.py")
+        assert finding.path.endswith("rc01_bad.py")
+        assert finding.line > 0
+        rendered = finding.render()
+        assert re.match(r".+:\d+:\d+: RC01 ", rendered)
+
+
+class TestSuppressions:
+    def test_line_suppressions_silence_findings(self):
+        assert findings_for(FIXTURES / "suppressed.py") == []
+
+    def test_file_suppression_silences_whole_file(self):
+        assert findings_for(FIXTURES / "suppressed_file.py") == []
+
+    def test_stripped_suppressions_fire_again(self, tmp_path):
+        """The suppressed fixture genuinely violates RC03 and RC04 —
+        remove the ignore comments and both rules fire."""
+        text = (FIXTURES / "suppressed.py").read_text()
+        stripped = re.sub(r"\s*# repro-check: ignore(\[[A-Z0-9,]+\])?", "", text)
+        target = tmp_path / "stripped.py"
+        target.write_text(stripped)
+        findings = findings_for(target)
+        assert {f.rule for f in findings} == {"RC03", "RC04"}
+
+    def test_module_override_only_in_first_five_lines(self, tmp_path):
+        target = tmp_path / "late_override.py"
+        target.write_text(
+            "\n" * 6 + "# repro-check: module=repro.wal.sneaky\nimport time\n"
+        )
+        source = SourceFile.parse(target)
+        assert source.module == "late_override"
+
+
+class TestModuleInference:
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            ("src/repro/wal/slb.py", "repro.wal.slb"),
+            ("src/repro/concurrency/__init__.py", "repro.concurrency"),
+            ("tools/repro_check/engine.py", "tools.repro_check.engine"),
+            ("tests/test_repro_check.py", "tests.test_repro_check"),
+            ("scratch.py", "scratch"),
+        ],
+    )
+    def test_inference(self, path, expected):
+        assert _infer_module(Path(path)) == expected
+
+
+class TestOutputFormats:
+    def test_render_json_round_trips(self):
+        findings = findings_for(FIXTURES / "rc03_bad.py")
+        payload = json.loads(render_json(findings))
+        assert payload["count"] == 2
+        for item in payload["findings"]:
+            assert item["rule"] == "RC03"
+            assert set(item) >= {"rule", "path", "line", "col", "message"}
+
+    def test_render_text_counts_findings(self):
+        findings = findings_for(FIXTURES / "rc04_bad.py")
+        text = render_text(findings)
+        assert "RC04" in text
+        assert "2" in text.splitlines()[-1]
+
+
+class TestCli:
+    def test_clean_paths_exit_zero(self, capsys):
+        assert main([str(FIXTURES / "rc01_good.py")]) == 0
+        capsys.readouterr()
+
+    def test_findings_exit_one(self, capsys):
+        assert main([str(FIXTURES / "rc01_bad.py")]) == 1
+        out = capsys.readouterr().out
+        assert "RC01" in out
+
+    def test_unknown_rule_exit_two(self, capsys):
+        assert main(["--rules", "RC99", str(FIXTURES)]) == 2
+        capsys.readouterr()
+
+    def test_parse_error_exit_two(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n")
+        assert main([str(broken)]) == 2
+        err = capsys.readouterr().err
+        assert "parse error" in err
+
+    def test_rule_selection_filters(self, capsys):
+        # rc03_bad violates only RC03; selecting RC01 alone finds nothing.
+        assert main(["--rules", "RC01", str(FIXTURES / "rc03_bad.py")]) == 0
+        capsys.readouterr()
+
+    def test_json_format(self, capsys):
+        assert main(["--format", "json", str(FIXTURES / "rc02_bad.py")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "RC02"
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ALL_RULE_IDS:
+            assert rule_id in out
+
+
+class TestWholeTree:
+    def test_src_is_clean(self):
+        """Acceptance criterion: ``python -m tools.repro_check src`` exits 0."""
+        findings, errors = run_paths([REPO / "src"])
+        assert errors == []
+        assert findings == [], render_text(findings)
+
+    def test_tools_are_clean(self):
+        findings, errors = run_paths([REPO / "tools"])
+        assert errors == []
+        assert findings == [], render_text(findings)

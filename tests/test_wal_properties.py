@@ -5,8 +5,7 @@ from hypothesis import strategies as st
 
 from repro import Database, SystemConfig
 from repro.common import EntityAddress, PartitionAddress
-from repro.common.config import DiskParameters
-from repro.sim import DuplexedDisk, SimulatedDisk, StableMemory, VirtualClock
+from repro.sim import StableMemory
 from repro.storage import Partition
 from repro.wal import (
     FieldPatch,

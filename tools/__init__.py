@@ -1,0 +1,5 @@
+"""Developer tooling for the MM-DBMS recovery reproduction.
+
+Nothing under :mod:`tools` ships with the ``repro`` package; it is the
+project's own build/CI machinery (see :mod:`tools.repro_check`).
+"""

@@ -1,0 +1,29 @@
+"""repro-check: invariant-aware static analysis for the reproduction.
+
+A small AST lint engine with project-specific rules (RC01–RC06) that
+mechanically enforce the paper's discipline invariants — crash-atomic
+durable writes, checksum-framed disk I/O, deterministic replay, exception
+hygiene around recovery control flow, chaos-injection isolation, and the
+storage layer's lock-mode contracts.  See ``docs/STATIC_ANALYSIS.md``.
+
+Usage::
+
+    python -m tools.repro_check src            # lint the library
+    python -m tools.repro_check --list-rules   # what gets checked and why
+    pytest --lock-audit                        # the dynamic companion
+"""
+
+from tools.repro_check.engine import SourceFile, check_source, run_paths
+from tools.repro_check.findings import Finding, render_json, render_text
+from tools.repro_check.rules import all_rules, get_rules
+
+__all__ = [
+    "Finding",
+    "SourceFile",
+    "all_rules",
+    "check_source",
+    "get_rules",
+    "render_json",
+    "render_text",
+    "run_paths",
+]

@@ -1,0 +1,63 @@
+"""Command-line entry point: ``python -m tools.repro_check [paths...]``.
+
+Exit status: 0 clean, 1 findings, 2 parse/usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.repro_check.engine import run_paths
+from tools.repro_check.findings import render_json, render_text
+from tools.repro_check.rules import all_rules, get_rules
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="invariant-aware static analysis for the MM-DBMS reproduction",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="describe every rule and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_cls in all_rules():
+            print(f"{rule_cls.rule_id}: {rule_cls.title}")
+            print(f"    {rule_cls.rationale}")
+        return 0
+
+    try:
+        rules = (
+            get_rules([r.strip() for r in args.rules.split(",") if r.strip()])
+            if args.rules
+            else None
+        )
+    except KeyError as exc:
+        print(f"repro-check: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    findings, errors = run_paths([Path(p) for p in args.paths], rules)
+    for error in errors:
+        print(f"repro-check: parse error: {error}", file=sys.stderr)
+    print(render_json(findings) if args.fmt == "json" else render_text(findings))
+    if errors:
+        return 2
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""The repro-check engine: file discovery, parsing, rule dispatch,
+suppressions.
+
+Rules are small :class:`~tools.repro_check.visitor.RuleVisitor`
+subclasses registered with :func:`tools.repro_check.rules.rule`; the
+engine parses each file once and hands the same :class:`SourceFile` to
+every selected rule.
+
+Suppression syntax (checked per finding line, and file-wide):
+
+* ``# repro-check: ignore`` — suppress every rule on this line
+* ``# repro-check: ignore[RC03]`` / ``ignore[RC01,RC04]`` — specific rules
+* ``# repro-check: ignore-file[RC03]`` (in the first 5 lines) — whole file
+* ``# repro-check: module=repro.wal.fake`` (in the first 5 lines) —
+  override the inferred module name; used by the rule fixtures, which
+  live outside ``src/`` but must exercise path-scoped rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from tools.repro_check.findings import Finding
+
+_IGNORE_RE = re.compile(r"#\s*repro-check:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+_IGNORE_FILE_RE = re.compile(r"#\s*repro-check:\s*ignore-file\[([A-Z0-9,\s]+)\]")
+_MODULE_RE = re.compile(r"#\s*repro-check:\s*module=([\w.]+)")
+
+#: Suppress-everything marker stored in the per-line suppression map.
+ALL_RULES = "*"
+
+
+def _infer_module(path: Path) -> str:
+    """Dotted module name from the file path (``src/repro/wal/slb.py`` →
+    ``repro.wal.slb``); falls back to the stem for paths outside a known
+    package root."""
+    parts = list(path.parts)
+    for root in ("src", "tools", "tests"):
+        if root in parts:
+            start = len(parts) - 1 - parts[::-1].index(root)
+            rel = parts[start + 1 :] if root == "src" else parts[start:]
+            if rel:
+                dotted = [p for p in rel[:-1]] + [Path(rel[-1]).stem]
+                if dotted[-1] == "__init__":
+                    dotted = dotted[:-1]
+                if dotted:
+                    return ".".join(dotted)
+    return path.stem
+
+
+@dataclass
+class SourceFile:
+    """One parsed file plus everything a rule needs to know about it."""
+
+    path: Path
+    text: str
+    tree: ast.Module
+    #: Dotted module name (inferred, or overridden by a module= comment).
+    module: str
+    #: line number -> set of suppressed rule ids (or {ALL_RULES}).
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: Rule ids suppressed for the whole file.
+    file_suppressions: set[str] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, path: Path) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        module = _infer_module(path)
+        suppressions: dict[int, set[str]] = {}
+        file_suppressions: set[str] = set()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if "repro-check" not in line:
+                continue
+            if lineno <= 5:
+                override = _MODULE_RE.search(line)
+                if override:
+                    module = override.group(1)
+                whole_file = _IGNORE_FILE_RE.search(line)
+                if whole_file:
+                    file_suppressions.update(
+                        r.strip() for r in whole_file.group(1).split(",") if r.strip()
+                    )
+                    continue
+            match = _IGNORE_RE.search(line)
+            if match:
+                rules = match.group(1)
+                suppressions[lineno] = (
+                    {r.strip() for r in rules.split(",") if r.strip()}
+                    if rules
+                    else {ALL_RULES}
+                )
+        return cls(path, text, tree, module, suppressions, file_suppressions)
+
+    def suppressed(self, finding: Finding) -> bool:
+        if finding.rule in self.file_suppressions:
+            return True
+        rules = self.suppressions.get(finding.line)
+        return rules is not None and (finding.rule in rules or ALL_RULES in rules)
+
+
+def discover(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(
+                p
+                for p in path.rglob("*.py")
+                if not any(part.startswith(".") for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def check_source(source: SourceFile, rules: list) -> list[Finding]:
+    """Run ``rules`` over one parsed file, applying suppressions."""
+    findings: list[Finding] = []
+    for rule_cls in rules:
+        findings.extend(
+            f for f in rule_cls.run(source) if not source.suppressed(f)
+        )
+    return findings
+
+
+def run_paths(
+    paths: list[Path], rules: list | None = None
+) -> tuple[list[Finding], list[str]]:
+    """Check every file under ``paths``.
+
+    Returns ``(findings, errors)`` where errors are files that could not
+    be parsed (reported, never silently skipped).
+    """
+    from tools.repro_check.rules import all_rules
+
+    selected = rules if rules is not None else all_rules()
+    findings: list[Finding] = []
+    errors: list[str] = []
+    for path in discover(paths):
+        try:
+            source = SourceFile.parse(path)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            errors.append(f"{path}: {exc}")
+            continue
+        findings.extend(check_source(source, selected))
+    return findings, errors

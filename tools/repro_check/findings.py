@@ -1,0 +1,46 @@
+"""Finding model and renderers for repro-check.
+
+A finding is one rule violation at one source location.  The text
+renderer mimics the familiar ``path:line:col: CODE message`` compiler
+shape so editors can jump to it; the JSON renderer is for CI tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def render_text(findings: list[Finding]) -> str:
+    lines = [f.render() for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))]
+    lines.append(
+        f"repro-check: {len(findings)} finding{'s' if len(findings) != 1 else ''}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    return json.dumps(
+        {
+            "findings": [
+                asdict(f)
+                for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+            ],
+            "count": len(findings),
+        },
+        indent=2,
+    )

@@ -1,0 +1,139 @@
+"""pytest plugin: ``--lock-audit`` — dynamic lock-order auditing.
+
+Runs the whole test session with the
+:class:`repro.concurrency.audit.LockOrderRecorder` installed, so every
+lock and latch acquisition made by every test feeds one global
+lock-order graph.  At session end the plugin reports:
+
+* **lock-order cycles** — two code paths somewhere in the suite acquired
+  ordering nodes in opposite orders (a latent deadlock, even if no test
+  schedule happened to interleave them fatally);
+* **latches held across crash points** — section 2.5's rule: a latch
+  holder that can die leaves the protected structure wedged;
+* lock-acquired-under-latch tallies (informational: a latch that waits
+  on a two-phase lock waits unboundedly).
+
+Cycles or latch-crash violations fail the session (exit status 1) even
+when every individual test passed.
+
+Ownership state (who holds what) is reset between tests because txn ids
+restart per test database; the ordering *graph* accumulates across the
+whole session — that cross-test union is the point of the audit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro-check")
+    group.addoption(
+        "--lock-audit",
+        action="store_true",
+        default=False,
+        help="record every lock/latch acquisition and fail the session on "
+        "lock-order cycles or latches held across crash points",
+    )
+
+
+def _audit_enabled(config) -> bool:
+    return bool(config.getoption("--lock-audit"))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_lock_audit: exclude this test from --lock-audit recording "
+        "(for tests that deliberately violate the lock discipline)",
+    )
+    if not _audit_enabled(config):
+        return
+    from repro.concurrency import audit
+    from repro.sim.chaos import set_crash_point_observer
+
+    recorder = audit.LockOrderRecorder()
+    audit.activate(recorder)
+    set_crash_point_observer(recorder.on_crash_point)
+    config._lock_audit_recorder = recorder
+
+
+def _pause(config) -> None:
+    from repro.concurrency import audit
+    from repro.sim.chaos import set_crash_point_observer
+
+    if audit.active_recorder() is not None:
+        set_crash_point_observer(None)
+        audit.deactivate()
+
+
+def _resume(config) -> None:
+    from repro.concurrency import audit
+    from repro.sim.chaos import set_crash_point_observer
+
+    recorder = config._lock_audit_recorder
+    if audit.active_recorder() is None:
+        audit.activate(recorder)
+        set_crash_point_observer(recorder.on_crash_point)
+
+
+# tryfirst: the pause must land before fixture setup runs, so a marked
+# test's fixtures can install their own recorder.
+@pytest.hookimpl(tryfirst=True)
+def pytest_runtest_setup(item):
+    recorder = getattr(item.config, "_lock_audit_recorder", None)
+    if recorder is None:
+        return
+    # txn/owner ids restart with every test's fresh database; carrying
+    # held-sets across tests would fabricate edges between unrelated
+    # lock instances.
+    recorder.reset_ownership()
+    if item.get_closest_marker("no_lock_audit") is not None:
+        _pause(item.config)
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_runtest_teardown(item):
+    recorder = getattr(item.config, "_lock_audit_recorder", None)
+    if recorder is None:
+        return
+    if item.get_closest_marker("no_lock_audit") is not None:
+        recorder.reset_ownership()
+        _resume(item.config)
+
+
+def pytest_unconfigure(config):
+    recorder = getattr(config, "_lock_audit_recorder", None)
+    if recorder is None:
+        return
+    from repro.concurrency import audit
+    from repro.sim.chaos import set_crash_point_observer
+
+    set_crash_point_observer(None)
+    audit.deactivate()
+    config._lock_audit_recorder = None
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    recorder = getattr(config, "_lock_audit_recorder", None)
+    if recorder is None:
+        return
+    report = recorder.report()
+    terminalreporter.section("lock audit")
+    terminalreporter.write_line(report.render())
+    if recorder.locks_under_latch:
+        terminalreporter.write_line(
+            "note: 2PL locks acquired while holding a latch: "
+            + ", ".join(
+                f"{latch} (x{count})"
+                for latch, count in sorted(recorder.locks_under_latch.items())
+            )
+        )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    recorder = getattr(session.config, "_lock_audit_recorder", None)
+    if recorder is None:
+        return
+    if not recorder.report().ok:
+        session.exitstatus = 1

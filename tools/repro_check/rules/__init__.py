@@ -1,0 +1,44 @@
+"""Rule registry.
+
+Every rule module registers its visitor class with the :func:`rule`
+decorator at import time; importing this package loads all of them.
+"""
+
+from __future__ import annotations
+
+from tools.repro_check.visitor import RuleVisitor
+
+_REGISTRY: dict[str, type[RuleVisitor]] = {}
+
+
+def rule(cls: type[RuleVisitor]) -> type[RuleVisitor]:
+    """Class decorator: register a rule under its ``rule_id``."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> list[type[RuleVisitor]]:
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rules(rule_ids: list[str]) -> list[type[RuleVisitor]]:
+    missing = [r for r in rule_ids if r not in _REGISTRY]
+    if missing:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown rule(s) {missing}; known rules: {known}")
+    return [_REGISTRY[r] for r in rule_ids]
+
+
+# Import rule modules for their registration side effect.
+from tools.repro_check.rules import (  # noqa: E402,F401
+    rc01_crash_bracket,
+    rc02_framed_writes,
+    rc03_determinism,
+    rc04_exception_hygiene,
+    rc05_chaos_imports,
+    rc06_lock_discipline,
+)

@@ -1,0 +1,65 @@
+"""RC01 — durable writes in recovery-critical packages need crash points.
+
+Paper grounding: section 2.3's discipline is that every durable-state
+transition must be crash-atomic — the REDO information reaches the SLB
+*before* the action, and recovery replays from whatever prefix survived.
+PR 1's chaos sweep can only exercise transitions that declare a
+:func:`repro.sim.chaos.crash_point`; a durable write added to ``wal/``,
+``checkpoint/`` or ``recovery/`` without one is invisible to the sweep
+and therefore unverified.
+
+The rule: inside those packages, any function that performs a primitive
+disk write (``write_page`` / ``write_track``) must also pass at least one
+``crash_point(...)`` hook, so the sweep can land a crash on both sides of
+the write.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repro_check.rules import rule
+from tools.repro_check.visitor import RuleVisitor, call_name, walk_function_body
+
+_DURABLE_CALLEES = frozenset({"write_page", "write_track"})
+_SCOPES = ("repro.wal.", "repro.checkpoint.", "repro.recovery.")
+
+
+@rule
+class CrashBracketRule(RuleVisitor):
+    rule_id = "RC01"
+    title = "durable writes must be bracketed by crash_point() hooks"
+    rationale = (
+        "Section 2.3: every durable mutation must be crash-atomic; the "
+        "chaos sweep can only prove that for transitions that declare a "
+        "crash point."
+    )
+
+    @classmethod
+    def applies_to(cls, source) -> bool:
+        return source.module.startswith(_SCOPES)
+
+    def _check_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        durable_writes = []
+        has_crash_point = False
+        for child in walk_function_body(node):
+            name = call_name(child)
+            if name in _DURABLE_CALLEES:
+                durable_writes.append(child)
+            elif name == "crash_point":
+                has_crash_point = True
+        if not has_crash_point:
+            for write in durable_writes:
+                self.add(
+                    write,
+                    f"durable write ({call_name(write)}) in "
+                    f"{node.name}() without a crash_point() hook in the "
+                    f"same function; the chaos sweep cannot exercise it",
+                )
+        self.generic_visit(node)
+
+    visit_FunctionDef = _check_function
+    visit_AsyncFunctionDef = _check_function
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.generic_visit(node)

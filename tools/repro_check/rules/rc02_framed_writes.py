@@ -1,0 +1,64 @@
+"""RC02 — no raw disk writes outside the checksum-framing helpers.
+
+Paper grounding: section 2.2 duplexes the log disks precisely because
+stable storage lies — torn writes, bit rot, stale sector versions.  PR 1
+added CRC32 framing (:mod:`repro.common.checksum`) so every block that
+reaches a :class:`~repro.sim.disk.SimulatedDisk` is verifiable at read
+time.  A write that bypasses the framing layer silently re-opens the
+undetected-corruption hole the corruption matrix tests closed.
+
+The rule: calls to ``write_page`` / ``write_track`` are only allowed in
+the three modules that *are* the framing layer — :mod:`repro.sim.disk`
+(``DuplexedDisk`` frames internally), :mod:`repro.wal.log_disk` (writes
+through the duplexed pair) and :mod:`repro.checkpoint.disk_queue` (seals
+every image) — or when the payload argument is a direct
+``seal_frame(...)`` call.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repro_check.rules import rule
+from tools.repro_check.visitor import RuleVisitor, call_name
+
+_WRITE_CALLEES = frozenset({"write_page", "write_track"})
+
+#: Modules that implement the framing discipline and may write raw.
+APPROVED_MODULES = frozenset(
+    {
+        "repro.sim.disk",
+        "repro.wal.log_disk",
+        "repro.checkpoint.disk_queue",
+    }
+)
+
+
+@rule
+class FramedWritesRule(RuleVisitor):
+    rule_id = "RC02"
+    title = "disk writes must go through the CRC32 framing layer"
+    rationale = (
+        "Section 2.2 / PR 1: every stable block carries a CRC32 frame so "
+        "corruption is detected at read time instead of decoded as garbage."
+    )
+
+    @classmethod
+    def applies_to(cls, source) -> bool:
+        return (
+            source.module.startswith("repro.")
+            and source.module not in APPROVED_MODULES
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = call_name(node)
+        if name in _WRITE_CALLEES:
+            payload = node.args[1] if len(node.args) >= 2 else None
+            if call_name(payload) != "seal_frame":
+                self.add(
+                    node,
+                    f"raw {name}() outside the checksum framing layer; "
+                    f"write through DuplexedDisk/CheckpointDiskQueue or "
+                    f"seal the payload with seal_frame()",
+                )
+        self.generic_visit(node)

@@ -1,0 +1,65 @@
+"""RC03 — no wall-clock or ambient randomness outside sanctioned modules.
+
+Paper grounding: none directly — this protects the *reproduction's*
+methodology.  Every latency in the system is simulated time on
+:class:`repro.sim.clock.VirtualClock`, which is what makes the chaos
+sweep replayable: arming the same crash point twice must walk the same
+schedule to the same state, or a failed sweep cannot be debugged.  A
+stray ``time.time()`` or module-level ``random`` call breaks that
+determinism invisibly.
+
+The rule: importing ``time``, ``random``, ``datetime`` or ``secrets`` is
+only allowed in :mod:`repro.sim.clock` (the one place wall-time could
+ever legitimately be bridged) and under ``repro.workloads`` (generators
+own their seeded ``random.Random`` instances).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repro_check.rules import rule
+from tools.repro_check.visitor import RuleVisitor
+
+_FORBIDDEN_MODULES = frozenset({"time", "random", "datetime", "secrets"})
+_ALLOWED = ("repro.sim.clock", "repro.workloads")
+
+
+@rule
+class DeterminismRule(RuleVisitor):
+    rule_id = "RC03"
+    title = "no wall-clock / ambient randomness outside sim.clock and workloads"
+    rationale = (
+        "Chaos replay is only debuggable if the schedule is deterministic: "
+        "all time comes from VirtualClock, all randomness from seeded "
+        "workload generators."
+    )
+
+    @classmethod
+    def applies_to(cls, source) -> bool:
+        if not source.module.startswith("repro."):
+            return False
+        return not (
+            source.module == _ALLOWED[0]
+            or source.module.startswith(_ALLOWED[1])
+        )
+
+    def _flag(self, node: ast.AST, module: str) -> None:
+        self.add(
+            node,
+            f"import of {module!r} breaks deterministic replay; use "
+            f"VirtualClock for time and a seeded workload Random for "
+            f"randomness",
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in _FORBIDDEN_MODULES:
+                self._flag(node, alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module:
+            root = node.module.split(".")[0]
+            if root in _FORBIDDEN_MODULES:
+                self._flag(node, node.module)

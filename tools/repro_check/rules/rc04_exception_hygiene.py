@@ -1,0 +1,82 @@
+"""RC04 — no overbroad exception handler may swallow control-flow errors.
+
+Paper grounding: :class:`~repro.common.errors.DeadlockError` (section
+2.3.2's waits-for abort), :class:`~repro.common.errors.ConcurrencyError`
+and :class:`~repro.common.errors.MediaFailure` (section 2.6's escalation
+to archive recovery) are *control flow*, not noise — a handler that
+catches them and does not re-raise turns "abort this transaction" or
+"fall over to media recovery" into silent data corruption.  The same
+goes for ``SimulatedCrash``: downgrading a machine crash to a caught
+exception would let post-crash code run against pre-crash state.
+
+The rule: a bare ``except:`` or a handler for ``Exception`` /
+``BaseException`` / ``ReproError`` must re-raise on every path we can
+see — concretely, its body must contain at least one ``raise``
+statement.  Handlers that transform the error (``raise X from exc``)
+satisfy this; handlers that log-and-continue must name the narrow
+exception types they actually expect.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repro_check.rules import rule
+from tools.repro_check.visitor import RuleVisitor
+
+_OVERBROAD = frozenset({"Exception", "BaseException", "ReproError"})
+
+
+def _broad_names(node: ast.expr | None) -> list[str]:
+    """Overbroad class names mentioned in an except clause."""
+    if node is None:
+        return ["<bare>"]
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for expr in exprs:
+        if isinstance(expr, ast.Name) and expr.id in _OVERBROAD:
+            names.append(expr.id)
+        elif isinstance(expr, ast.Attribute) and expr.attr in _OVERBROAD:
+            names.append(expr.attr)
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body contains a raise (not inside a nested
+    function definition)."""
+    stack: list[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+@rule
+class ExceptionHygieneRule(RuleVisitor):
+    rule_id = "RC04"
+    title = "overbroad except handlers must re-raise"
+    rationale = (
+        "DeadlockError / MediaFailure / SimulatedCrash are control flow; "
+        "a swallow-all handler converts required aborts and media-recovery "
+        "escalations into silent corruption."
+    )
+
+    @classmethod
+    def applies_to(cls, source) -> bool:
+        return source.module.startswith("repro.")
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        broad = _broad_names(node.type)
+        if broad and not _reraises(node):
+            caught = ", ".join(broad)
+            self.add(
+                node,
+                f"overbroad handler ({caught}) swallows "
+                f"ConcurrencyError/DeadlockError/MediaFailure/SimulatedCrash; "
+                f"catch the narrow types you expect or re-raise",
+            )
+        self.generic_visit(node)
