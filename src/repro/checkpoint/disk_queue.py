@@ -14,6 +14,8 @@ transactions serialise on a write latch exactly as the paper requires.
 
 from __future__ import annotations
 
+import threading
+
 from repro.common.checksum import open_frame, seal_frame
 from repro.common.errors import CheckpointError
 from repro.concurrency.latch import Latch
@@ -41,6 +43,10 @@ class CheckpointDiskQueue:
         self.map_latch = Latch("checkpoint-disk-map")
         self._occupied: set[int] = set()
         self._head = 0
+        #: Guards the allocation map between restore workers (free /
+        #: is_occupied) and checkpoint transactions (allocate).  Lock
+        #: order: ``_mutex`` → ``map_latch``.
+        self._mutex = threading.RLock()
 
     # -- allocation --------------------------------------------------------------
 
@@ -49,7 +55,7 @@ class CheckpointDiskQueue:
 
         ``owner`` identifies the checkpoint transaction for the map latch.
         """
-        with self.map_latch.held_by(owner):
+        with self._mutex, self.map_latch.held_by(owner):
             for _ in range(self.slots):
                 slot = self._head
                 self._head = (self._head + 1) % self.slots
@@ -59,13 +65,15 @@ class CheckpointDiskQueue:
         raise CheckpointError("checkpoint disk is full: no free slots")
 
     def free(self, slot: int) -> None:
-        self._occupied.discard(slot)
+        with self._mutex:
+            self._occupied.discard(slot)
         self.disk.free(slot)
 
     def rebuild_map(self, occupied: set[int]) -> None:
         """Post-crash: reconstruct the allocation map from the catalogs."""
-        self._occupied = set(occupied)
-        self._head = 0
+        with self._mutex:
+            self._occupied = set(occupied)
+            self._head = 0
 
     # -- image I/O -----------------------------------------------------------------
 
@@ -75,8 +83,9 @@ class CheckpointDiskQueue:
         Images are CRC32-framed so corruption is detected at read time
         and recovery can fall back to full-history log replay.
         """
-        if slot not in self._occupied:
-            raise CheckpointError(f"slot {slot} was not allocated")
+        with self._mutex:
+            if slot not in self._occupied:
+                raise CheckpointError(f"slot {slot} was not allocated")
         crash_point("checkpoint.image.before-write")
         self.disk.write_track(slot, seal_frame(image))
         crash_point("checkpoint.image.after-write")
@@ -92,7 +101,9 @@ class CheckpointDiskQueue:
 
     @property
     def occupied_count(self) -> int:
-        return len(self._occupied)
+        with self._mutex:
+            return len(self._occupied)
 
     def is_occupied(self, slot: int) -> bool:
-        return slot in self._occupied
+        with self._mutex:
+            return slot in self._occupied

@@ -16,6 +16,7 @@ recovery CPU as usual.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass
 
 from repro.common.types import PartitionAddress
@@ -44,38 +45,52 @@ class CheckpointRequest:
 class CheckpointQueue:
     """FIFO of checkpoint requests stored in stable memory."""
 
+    #: Guards the shared entry list between the recovery thread (submit,
+    #: finished-scan) and the main CPU's checkpoint transactions.  One
+    #: class-level lock — the queue itself lives in stable memory and is
+    #: re-wrapped by a fresh CheckpointQueue after every crash, while the
+    #: threads span those instances.
+    _mutex = threading.RLock()
+
     def __init__(self, slb: StableLogBuffer):
         self._slb = slb
-        if slb.get_well_known(_QUEUE_KEY) is None:
-            slb.put_well_known(_QUEUE_KEY, [])
+        with self._mutex:
+            if slb.get_well_known(_QUEUE_KEY) is None:
+                slb.put_well_known(_QUEUE_KEY, [])
 
     def _entries(self) -> list[CheckpointRequest]:
         return self._slb.get_well_known(_QUEUE_KEY)  # type: ignore[return-value]
 
     def submit(self, partition: PartitionAddress, bin_index: int, reason: str) -> None:
         """Recovery CPU: enter a checkpoint request (deduplicated)."""
-        if any(entry.partition == partition for entry in self._entries()):
-            return
-        self._entries().append(CheckpointRequest(partition, bin_index, reason))
+        with self._mutex:
+            if any(entry.partition == partition for entry in self._entries()):
+                return
+            self._entries().append(CheckpointRequest(partition, bin_index, reason))
 
     def pending(self) -> list[CheckpointRequest]:
-        return [e for e in self._entries() if e.state is RequestState.REQUEST]
+        with self._mutex:
+            return [e for e in self._entries() if e.state is RequestState.REQUEST]
 
     def finished(self) -> list[CheckpointRequest]:
-        return [e for e in self._entries() if e.state is RequestState.FINISHED]
+        with self._mutex:
+            return [e for e in self._entries() if e.state is RequestState.FINISHED]
 
     def remove(self, request: CheckpointRequest) -> None:
-        self._entries().remove(request)
+        with self._mutex:
+            self._entries().remove(request)
 
     def revert_in_progress(self) -> int:
         """Post-crash: in-progress checkpoints died with the main CPU."""
-        reverted = 0
-        for entry in self._entries():
-            if entry.state is RequestState.IN_PROGRESS:
-                entry.state = RequestState.REQUEST
-                entry.previous_slot = None
-                reverted += 1
-        return reverted
+        with self._mutex:
+            reverted = 0
+            for entry in self._entries():
+                if entry.state is RequestState.IN_PROGRESS:
+                    entry.state = RequestState.REQUEST
+                    entry.previous_slot = None
+                    reverted += 1
+            return reverted
 
     def __len__(self) -> int:
-        return len(self._entries())
+        with self._mutex:
+            return len(self._entries())

@@ -51,6 +51,7 @@ are volatile anyway.  Latches are flagged.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass
 from typing import Hashable, Iterable
@@ -202,6 +203,11 @@ class LockOrderRecorder:
         self._held_locks: dict[int, Counter[str]] = {}
         #: owner -> multiset of held latch nodes.
         self._held_latches: dict[int, Counter[str]] = {}
+        #: thread ident -> multiset of (owner, latch node) held *by that
+        #: thread*; the crash-point check consults only the passing
+        #: thread's entry, so a latch legitimately held by a concurrent
+        #: restore worker is not misread as "held across a crash point".
+        self._thread_latches: dict[int, Counter[tuple[int, str]]] = {}
         #: (held, acquired) -> edge.
         self._edges: dict[tuple[str, str], OrderingEdge] = {}
         self.acquisitions = 0
@@ -211,6 +217,9 @@ class LockOrderRecorder:
         #: on a lock waits for an unbounded time, defeating the paper's
         #: "critical sections only for block allocation" argument.
         self.locks_under_latch: Counter[str] = Counter()
+        #: Events arrive from every engine thread; the graph and the
+        #: held-sets mutate under one lock.
+        self._mutex = threading.RLock()
 
     # -- event intake -------------------------------------------------------
 
@@ -234,49 +243,66 @@ class LockOrderRecorder:
     def on_lock_acquired(
         self, owner: int, resource: Hashable, *, blocking: bool
     ) -> None:
-        self.acquisitions += 1
-        latches = self._held_latches.get(owner)
-        if latches:
-            for latch in latches:
-                self.locks_under_latch[latch] += 1
-        node = normalize(resource)
-        if node is None:
-            return
-        if blocking:
-            self._record_edges(owner, node, f"{node} ({resource!r})")
-        self._held_locks.setdefault(owner, Counter())[node] += 1
+        with self._mutex:
+            self.acquisitions += 1
+            latches = self._held_latches.get(owner)
+            if latches:
+                for latch in latches:
+                    self.locks_under_latch[latch] += 1
+            node = normalize(resource)
+            if node is None:
+                return
+            if blocking:
+                self._record_edges(owner, node, f"{node} ({resource!r})")
+            self._held_locks.setdefault(owner, Counter())[node] += 1
 
     def on_lock_released(self, owner: int, resource: Hashable) -> None:
-        node = normalize(resource)
-        if node is None:
-            return
-        held = self._held_locks.get(owner)
-        if held and held[node] > 0:
-            held[node] -= 1
-            if held[node] == 0:
-                del held[node]
+        with self._mutex:
+            node = normalize(resource)
+            if node is None:
+                return
+            held = self._held_locks.get(owner)
+            if held and held[node] > 0:
+                held[node] -= 1
+                if held[node] == 0:
+                    del held[node]
 
     def on_locks_dropped(self, owner: int) -> None:
-        self._held_locks.pop(owner, None)
+        with self._mutex:
+            self._held_locks.pop(owner, None)
 
     def on_latch_acquired(self, owner: int, name: str) -> None:
         node = f"latch:{name}"
-        self.acquisitions += 1
-        self._record_edges(owner, node, node)
-        self._held_latches.setdefault(owner, Counter())[node] += 1
+        tid = threading.get_ident()
+        with self._mutex:
+            self.acquisitions += 1
+            self._record_edges(owner, node, node)
+            self._held_latches.setdefault(owner, Counter())[node] += 1
+            self._thread_latches.setdefault(tid, Counter())[(owner, node)] += 1
 
     def on_latch_released(self, owner: int, name: str) -> None:
         node = f"latch:{name}"
-        held = self._held_latches.get(owner)
-        if held and held[node] > 0:
-            held[node] -= 1
-            if held[node] == 0:
-                del held[node]
+        tid = threading.get_ident()
+        with self._mutex:
+            held = self._held_latches.get(owner)
+            if held and held[node] > 0:
+                held[node] -= 1
+                if held[node] == 0:
+                    del held[node]
+            mine = self._thread_latches.get(tid)
+            if mine and mine[(owner, node)] > 0:
+                mine[(owner, node)] -= 1
+                if mine[(owner, node)] == 0:
+                    del mine[(owner, node)]
 
     def on_crash_point(self, point: str) -> None:
-        """Crash-point observer: flag every latch held right now."""
-        for owner, held in self._held_latches.items():
-            for node, count in held.items():
+        """Crash-point observer: flag every latch the passing thread holds."""
+        tid = threading.get_ident()
+        with self._mutex:
+            mine = self._thread_latches.get(tid)
+            if not mine:
+                return
+            for (owner, node), count in mine.items():
                 if count > 0:
                     self._latch_crash_violations.append(
                         LatchCrashViolation(node, owner, point)
@@ -285,8 +311,10 @@ class LockOrderRecorder:
     def reset_ownership(self) -> None:
         """Forget who holds what (between tests / after a crash) while
         keeping the accumulated ordering graph."""
-        self._held_locks.clear()
-        self._held_latches.clear()
+        with self._mutex:
+            self._held_locks.clear()
+            self._held_latches.clear()
+            self._thread_latches.clear()
 
     # -- analysis -----------------------------------------------------------
 

@@ -15,6 +15,8 @@ transaction must not hold a latch across a recovery wait is enforced by
 
 from __future__ import annotations
 
+import threading
+
 from repro.common.errors import ReproError
 from repro.concurrency import audit
 
@@ -24,29 +26,40 @@ class LatchViolationError(ReproError):
 
 
 class Latch:
-    """A non-reentrant mutual-exclusion latch with owner tracking."""
+    """A non-reentrant mutual-exclusion latch with owner tracking.
+
+    The owner check-and-set is atomic (one internal lock), so the latch
+    keeps its raise-on-contention semantics under the threaded engine too:
+    every cross-thread path that reaches a latch is supposed to already be
+    serialised by its structure's mutex, and a concurrent acquisition is a
+    protocol bug that should fail loudly rather than corrupt the owner
+    field.
+    """
 
     def __init__(self, name: str):
         self.name = name
         self._owner: int | None = None
         self.acquisitions = 0
+        self._state_lock = threading.Lock()
 
     def acquire(self, owner: int) -> None:
-        if self._owner is not None:
-            raise LatchViolationError(
-                f"latch {self.name!r} already held by {self._owner} "
-                f"(requested by {owner})"
-            )
-        self._owner = owner
-        self.acquisitions += 1
+        with self._state_lock:
+            if self._owner is not None:
+                raise LatchViolationError(
+                    f"latch {self.name!r} already held by {self._owner} "
+                    f"(requested by {owner})"
+                )
+            self._owner = owner
+            self.acquisitions += 1
         audit.latch_acquired(owner, self.name)
 
     def release(self, owner: int) -> None:
-        if self._owner != owner:
-            raise LatchViolationError(
-                f"latch {self.name!r} released by {owner} but held by {self._owner}"
-            )
-        self._owner = None
+        with self._state_lock:
+            if self._owner != owner:
+                raise LatchViolationError(
+                    f"latch {self.name!r} released by {owner} but held by {self._owner}"
+                )
+            self._owner = None
         audit.latch_released(owner, self.name)
 
     @property

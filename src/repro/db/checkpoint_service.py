@@ -1,0 +1,30 @@
+"""Checkpoint coordination between the two processors.
+
+Section 2.4 splits checkpointing across the CPUs: the recovery processor
+*requests* checkpoints and *acknowledges* finished ones (resetting bins,
+archiving leftovers, freeing superseded slots), while the checkpoint
+transactions themselves are ordinary transactions on the main CPU.  The
+engines call the two halves separately so each runs on the right thread.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.database import Database
+
+
+class CheckpointService:
+    """The pump-time checkpoint duties, split per processor."""
+
+    def __init__(self, db: "Database"):
+        self.db = db
+
+    def acknowledge(self) -> int:
+        """Recovery-CPU half: complete finished checkpoints."""
+        return self.db.recovery_processor.acknowledge_finished()
+
+    def process_pending(self) -> int:
+        """Main-CPU half: run pending checkpoint transactions."""
+        return self.db.checkpoints.process_pending()

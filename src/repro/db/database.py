@@ -1,16 +1,25 @@
-"""The Database: full wiring of the MM-DBMS recovery architecture.
+"""The Database: wiring of the MM-DBMS recovery architecture.
 
 One object owns the simulated hardware (clock, two CPUs, stable memories,
 duplexed log disks, checkpoint disk), the volatile database (segments,
 partitions, locks, catalogs), and the recovery component (Stable Log
 Buffer, Stable Log Tail, recovery processor, checkpoint manager, restart
-coordinator).
+coordinator).  The behaviour lives in three narrow services — the
+:class:`~repro.db.logging_service.LoggingService` (main-CPU log path),
+the :class:`~repro.db.checkpoint_service.CheckpointService` (per-CPU
+checkpoint halves), and the
+:class:`~repro.db.recovery_service.RecoveryService` (restart state
+machine) — scheduled by an :class:`~repro.engine.ExecutionEngine`.
 
-Cooperative scheduling: the recovery CPU's duties run when
-:meth:`Database.pump` is called — the transaction manager's
-between-transactions moment of paper section 2.4 — and transparently when
-the SLB fills (back-pressure).  ``transaction()`` scopes pump on exit by
-default, so ordinary usage needs no explicit pumping.
+Scheduling: the recovery CPU's duties run when :meth:`Database.pump` is
+called — the transaction manager's between-transactions moment of paper
+section 2.4 — and transparently when the SLB fills (back-pressure).
+``transaction()`` scopes pump on exit by default, so ordinary usage needs
+no explicit pumping.  Under the default
+:class:`~repro.engine.sim.SimEngine` everything is cooperative and
+deterministic; the :class:`~repro.engine.threaded.ThreadedEngine` runs
+the recovery processor on its own host thread and restores partitions
+concurrently during restart phase 2 (see ``docs/ENGINES.md``).
 
 Crash semantics: :meth:`crash` discards everything volatile (partitions,
 lock tables, active transactions, catalog caches, index objects) and keeps
@@ -23,7 +32,7 @@ section 2.5.
 
 from __future__ import annotations
 
-import enum
+import threading
 
 from repro.catalog.catalog import (
     Catalog,
@@ -39,12 +48,15 @@ from repro.common.config import SystemConfig
 from repro.common.errors import (
     CatalogError,
     RecoveryError,
-    StableMemoryFullError,
     StorageError,
 )
 from repro.common.types import PartitionAddress, SegmentKind
 from repro.concurrency.locks import LockManager, LockMode
+from repro.db.checkpoint_service import CheckpointService
+from repro.db.logging_service import CATALOG_LOCATIONS_KEY, LoggingService
+from repro.db.recovery_service import RecoveryMode, RecoveryService
 from repro.db.relation import Relation
+from repro.engine import ExecutionEngine, engine_from_env
 from repro.index.linear_hash import LinearHashIndex
 from repro.index.node_store import NodeStore
 from repro.index.ttree import TTreeIndex
@@ -64,31 +76,37 @@ from repro.wal.records import RedoRecord
 from repro.wal.slb import StableLogBuffer
 from repro.wal.slt import StableLogTail
 
-#: Well-known stable-memory key for the catalog partition address list.
-CATALOG_LOCATIONS_KEY = "catalog-partitions"
+__all__ = [
+    "CATALOG_LOCATIONS_KEY",
+    "Database",
+    "MAIN_CPU_MIPS",
+    "RecoveryMode",
+]
 
 MAIN_CPU_MIPS = 6.0
-
-
-class RecoveryMode(enum.Enum):
-    """Post-crash restoration policy (paper section 2.5)."""
-
-    #: Restore every partition before returning from restart — the
-    #: database-level baseline behaviour.
-    EAGER = "eager"
-    #: Restore catalogs only; partitions recover when touched, plus one
-    #: background partition per :meth:`Database.pump`.
-    ON_DEMAND = "on-demand"
 
 
 class Database:
     """A main-memory DBMS with the paper's recovery architecture."""
 
-    def __init__(self, config: SystemConfig | None = None):
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        engine: ExecutionEngine | None = None,
+    ):
         self.config = config if config is not None else SystemConfig()
+        #: Serialises partition installs against monitoring snapshots so
+        #: :class:`~repro.db.monitor.Monitor` reads a consistent view
+        #: while restore workers install partitions concurrently.
+        self.view_lock = threading.RLock()
         self._build_hardware()
         self._build_volatile()
         self._build_recovery_component()
+        self.logging = LoggingService(self)
+        self.checkpoint_service = CheckpointService(self)
+        self.recovery_service = RecoveryService(self)
+        self.engine = engine if engine is not None else engine_from_env()
+        self.engine.attach(self)
         self.crashed = False
         self.restart_coordinator: RestartCoordinator | None = None
         #: Optional hook invoked as ``observer(txn)`` the instant a
@@ -146,18 +164,8 @@ class Database:
     # -- transaction plumbing (called by Transaction) ----------------------------------
 
     def append_log(self, txn_id: int, record: RedoRecord) -> None:
-        """Write a REDO record to the SLB, draining on back-pressure.
-
-        The main CPU pays the stable-memory copy for its own log writes
-        (the only logging work it does, section 2.2).
-        """
-        self.main_cpu.charge_stable_bytes(record.size_bytes, "slb-write")
-        try:
-            self.slb.append(txn_id, record)
-        except StableMemoryFullError:
-            # The main CPU stalls while the recovery CPU frees blocks.
-            self.recovery_processor.run_until_drained()
-            self.slb.append(txn_id, record)
+        """Write a REDO record to the SLB (see :class:`LoggingService`)."""
+        self.logging.append_log(txn_id, record)
 
     def on_transaction_finished(self, txn: Transaction) -> None:
         self.transactions.finished(txn)
@@ -177,22 +185,14 @@ class Database:
 
     def publish_catalog_locations(self) -> None:
         """Duplicate the catalog partition address list into both stable
-        areas (section 2.5: 'stored twice, in the Stable Log Buffer and in
-        the Stable Log Tail')."""
-        entry = self.catalog.well_known_entry()
-        self.slb.put_well_known(CATALOG_LOCATIONS_KEY, entry)
-        self.slt.put_well_known(CATALOG_LOCATIONS_KEY, entry)
+        areas (see :class:`LoggingService`)."""
+        self.logging.publish_catalog_locations()
 
-    # -- cooperative scheduling ------------------------------------------------------------
+    # -- scheduling (delegated to the execution engine) -----------------------------------
 
     def pump(self) -> None:
         """Run the between-transactions duties of both processors."""
-        self.recovery_processor.run_until_drained()
-        self.recovery_processor.acknowledge_finished()
-        self.checkpoints.process_pending()
-        self.recovery_processor.acknowledge_finished()
-        if self.restart_coordinator is not None:
-            self.restart_coordinator.background_step()
+        self.engine.pump()
 
     def transaction(
         self, *, pump: bool = True, relations: list[str] | None = None
@@ -427,23 +427,27 @@ class Database:
 
     def restart(self, mode: RecoveryMode = RecoveryMode.ON_DEMAND) -> RestartCoordinator:
         """Bring the system back: catalogs first, then data per ``mode``."""
-        if not self.crashed:
-            raise RecoveryError("restart() called but the system is not crashed")
-        self.slb.discard_uncommitted()
-        self.transactions = TransactionManager(self)
-        coordinator = RestartCoordinator(self)
-        coordinator.restore_system_state()
-        self.restart_coordinator = coordinator
-        self.crashed = False
-        if mode is RecoveryMode.EAGER:
-            coordinator.recover_everything()
-        return coordinator
+        return self.recovery_service.restart(mode)
+
+    # -- lifecycle ------------------------------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release engine resources (threads).  Idempotent; the database
+        remains usable for inspection afterwards but must not be pumped."""
+        self.engine.shutdown()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- statistics -----------------------------------------------------------------------------------------
 
     def stats(self) -> dict:
         """A status snapshot used by examples and benchmarks."""
         return {
+            "engine": self.engine.name,
             "clock_seconds": self.clock.now,
             "transactions_committed": self.transactions.committed,
             "transactions_aborted": self.transactions.aborted,

@@ -27,8 +27,21 @@ class Monitor:
     # -- snapshots ------------------------------------------------------------
 
     def snapshot(self) -> dict:
+        """One consistent snapshot of every component.
+
+        Taken under the database's view lock so concurrent phase-2
+        partition installs (threaded engine) cannot tear the residency
+        figures mid-iteration; the key set is identical whether the
+        system is up, crashed, or mid-restart.
+        """
+        db = self.db
+        with db.view_lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict:
         db = self.db
         return {
+            "engine": db.engine.name,
             "clock": {"seconds": db.clock.now},
             "transactions": {
                 "committed": db.transactions.committed,

@@ -1,0 +1,64 @@
+"""Restart orchestration as a narrow service.
+
+Owns the crash/restart state machine around the
+:class:`~repro.recovery.restart.RestartCoordinator`: discarding
+uncommitted chains, rebuilding system state (restart phase 1), and
+kicking off phase 2 according to the chosen recovery mode.  Phase-2 bulk
+restores route through the execution engine, which may fan them out over
+a worker pool.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.common.errors import RecoveryError
+from repro.recovery.restart import RestartCoordinator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.database import Database
+
+
+class RecoveryMode(enum.Enum):
+    """Post-crash restoration policy (paper section 2.5)."""
+
+    #: Restore every partition before returning from restart — the
+    #: database-level baseline behaviour.
+    EAGER = "eager"
+    #: Restore catalogs only; partitions recover when touched, plus one
+    #: background partition per :meth:`Database.pump`.
+    ON_DEMAND = "on-demand"
+
+
+class RecoveryService:
+    """Drives restart and the recovery processor's pump-time duties."""
+
+    def __init__(self, db: "Database"):
+        self.db = db
+
+    def drain(self) -> int:
+        """Sort everything currently committed (recovery-CPU duty)."""
+        return self.db.recovery_processor.run_until_drained()
+
+    def background_step(self) -> None:
+        """One low-priority phase-2 restore, if a restart is in progress."""
+        if self.db.restart_coordinator is not None:
+            self.db.restart_coordinator.background_step()
+
+    def restart(self, mode: RecoveryMode) -> RestartCoordinator:
+        """Bring the system back: catalogs first, then data per ``mode``."""
+        db = self.db
+        if not db.crashed:
+            raise RecoveryError("restart() called but the system is not crashed")
+        db.slb.discard_uncommitted()
+        from repro.txn.manager import TransactionManager
+
+        db.transactions = TransactionManager(db)
+        coordinator = RestartCoordinator(db)
+        coordinator.restore_system_state()
+        db.restart_coordinator = coordinator
+        db.crashed = False
+        if mode is RecoveryMode.EAGER:
+            coordinator.recover_everything()
+        return coordinator

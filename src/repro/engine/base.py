@@ -1,0 +1,95 @@
+"""The execution-engine interface.
+
+An engine decides *where* the recovery component's duties run — inline on
+the caller (deterministic simulation) or on dedicated host threads (the
+paper's genuinely concurrent two-processor hardware).  The database and
+its services call only this interface; everything engine-specific stays
+behind it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.common.types import PartitionAddress
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.database import Database
+
+
+class ExecutionEngine(abc.ABC):
+    """Scheduling policy for the recovery processor and restart work."""
+
+    #: Short identifier used by monitoring and benchmarks.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.db: "Database | None" = None
+
+    def attach(self, db: "Database") -> None:
+        """Bind this engine to its database (called once from wiring)."""
+        if self.db is not None and self.db is not db:
+            raise RuntimeError("engine is already attached to a database")
+        self.db = db
+
+    def _require_db(self) -> "Database":
+        if self.db is None:
+            raise RuntimeError("engine is not attached to a database")
+        return self.db
+
+    # -- scheduling hooks -----------------------------------------------------
+
+    @abc.abstractmethod
+    def drain_log(self) -> int:
+        """Run the recovery processor until the committed SLB is empty.
+
+        Used at commit barriers, during restart phase 1, and by the main
+        CPU's back-pressure stall when the SLB fills.  Returns the number
+        of records sorted.
+        """
+
+    @abc.abstractmethod
+    def pump(self) -> None:
+        """Run the between-transactions duties of both processors, in the
+        paper's order: sort, acknowledge, checkpoint, acknowledge, then
+        one background restore step."""
+
+    @abc.abstractmethod
+    def restore_partitions(self, addresses: list[PartitionAddress]) -> int:
+        """Restore the given partitions (restart phase 2 bulk path).
+
+        Returns how many were actually rebuilt now (already-resident ones
+        count zero).  On failure the unprocessed remainder is requeued on
+        the restart coordinator before the error propagates.
+        """
+
+    def quiesce(self) -> None:
+        """Wait for any engine-internal background work to settle.
+
+        Both built-in engines complete work synchronously, so the default
+        is a no-op; engines with free-running threads must override.
+        """
+
+    def shutdown(self) -> None:
+        """Release engine resources (threads).  Idempotent."""
+
+    # -- shared sequential fallback -------------------------------------------
+
+    def _restore_sequential(self, addresses: list[PartitionAddress]) -> int:
+        """Restore partitions one at a time on the calling thread."""
+        db = self._require_db()
+        coordinator = db.restart_coordinator
+        if coordinator is None:
+            return 0
+        recovered = 0
+        remaining = list(addresses)
+        while remaining:
+            address = remaining.pop(0)
+            try:
+                if coordinator.recover_partition(address) is not None:
+                    recovered += 1
+            except BaseException:
+                coordinator.requeue([address] + remaining)
+                raise
+        return recovered

@@ -1,0 +1,34 @@
+"""The deterministic cooperative engine.
+
+Everything runs inline on the caller's thread in a fixed order, exactly
+as the pre-engine ``Database.pump`` did.  This keeps the CPU instruction
+metering — and therefore ``benchmarks/bench_sim_vs_model.py``'s
+comparison against the closed-form model of paper section 3.2 —
+bit-for-bit reproducible from run to run.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import PartitionAddress
+from repro.engine.base import ExecutionEngine
+
+
+class SimEngine(ExecutionEngine):
+    """Cooperative single-threaded scheduling (the default)."""
+
+    name = "sim"
+
+    def drain_log(self) -> int:
+        db = self._require_db()
+        return db.recovery_service.drain()
+
+    def pump(self) -> None:
+        db = self._require_db()
+        db.recovery_service.drain()
+        db.checkpoint_service.acknowledge()
+        db.checkpoint_service.process_pending()
+        db.checkpoint_service.acknowledge()
+        db.recovery_service.background_step()
+
+    def restore_partitions(self, addresses: list[PartitionAddress]) -> int:
+        return self._restore_sequential(addresses)

@@ -13,6 +13,8 @@ closed-form model of section 3.2 (`benchmarks/bench_sim_vs_model.py`).
 
 from __future__ import annotations
 
+import threading
+
 from repro.checkpoint.protocol import CheckpointQueue
 from repro.common.config import SystemConfig
 from repro.common.types import PartitionAddress
@@ -80,6 +82,10 @@ class RecoveryProcessor:
         #: disk); like the SLT it survives simulated crashes.
         self._archive_buffer: list[RedoRecord] = []
         self._archive_bytes = 0
+        #: Guards the archive buffer: the recovery thread appends and
+        #: flushes while restore workers read pending records during
+        #: phase-2 partition recovery.
+        self._archive_mutex = threading.RLock()
         self.records_sorted = 0
         self.pages_flushed = 0
         self.archive_pages_written = 0
@@ -142,8 +148,9 @@ class RecoveryProcessor:
         # the partition's records appear on the log disk in LSN order —
         # the property full-history (media) recovery replays by.
         partition = self.slt.bin(bin_index).partition
-        if any(r.partition_address == partition for r in self._archive_buffer):
-            self._flush_archive(force=True)
+        with self._archive_mutex:
+            if any(r.partition_address == partition for r in self._archive_buffer):
+                self._flush_archive(force=True)
         page = self.slt.seal_page(bin_index)
         crash_point("recovery.flush.after-seal")
         self.cpu.charge(params.i_write_init, "write-init")
@@ -186,11 +193,12 @@ class RecoveryProcessor:
         acknowledged = 0
         for request in self.checkpoint_queue.finished():
             leftovers = self.slt.reset_after_checkpoint(request.bin_index)
-            for record in leftovers:
-                self._archive_buffer.append(record)
-                self._archive_bytes += record.size_bytes
-                self.cpu.charge_stable_bytes(record.size_bytes, "archive-copy")
-            self._maybe_flush_archive()
+            with self._archive_mutex:
+                for record in leftovers:
+                    self._archive_buffer.append(record)
+                    self._archive_bytes += record.size_bytes
+                    self.cpu.charge_stable_bytes(record.size_bytes, "archive-copy")
+                self._maybe_flush_archive()
             if request.previous_slot is not None:
                 self._free_slot(request.previous_slot)
             self.checkpoint_queue.remove(request)
@@ -212,17 +220,20 @@ class RecoveryProcessor:
         'thereby saving log space and disk transfer time by writing only
         full or mostly full pages to the log' (section 2.4).  ``force``
         flushes a partial page to preserve per-partition LSN order."""
-        while self._archive_bytes >= self.config.log_page_size:
-            taken: list[RedoRecord] = []
-            taken_bytes = 0
-            for record in self._archive_buffer:
-                if taken_bytes >= self.config.log_page_size:
-                    break
-                taken.append(record)
-                taken_bytes += record.size_bytes
-            self._emit_archive_page(taken, taken_bytes)
-        if force and self._archive_buffer:
-            self._emit_archive_page(list(self._archive_buffer), self._archive_bytes)
+        with self._archive_mutex:
+            while self._archive_bytes >= self.config.log_page_size:
+                taken: list[RedoRecord] = []
+                taken_bytes = 0
+                for record in self._archive_buffer:
+                    if taken_bytes >= self.config.log_page_size:
+                        break
+                    taken.append(record)
+                    taken_bytes += record.size_bytes
+                self._emit_archive_page(taken, taken_bytes)
+            if force and self._archive_buffer:
+                self._emit_archive_page(
+                    list(self._archive_buffer), self._archive_bytes
+                )
 
     def _emit_archive_page(self, records: list[RedoRecord], nbytes: int) -> None:
         """Write one mixed archive page; the records leave the stable
@@ -232,22 +243,25 @@ class RecoveryProcessor:
         self.cpu.charge(self.params.i_write_init, "write-init")
         self.log_disk.append_page(page)
         crash_point("recovery.archive.page-written")
-        del self._archive_buffer[: len(records)]
-        self._archive_bytes -= nbytes
+        with self._archive_mutex:
+            del self._archive_buffer[: len(records)]
+            self._archive_bytes -= nbytes
         self.archive_pages_written += 1
         self._check_age_triggers()  # archive pages advance the window too
 
     @property
     def archive_backlog_records(self) -> int:
-        return len(self._archive_buffer)
+        with self._archive_mutex:
+            return len(self._archive_buffer)
 
     def pending_archive_records(self, partition: PartitionAddress) -> list[RedoRecord]:
         """Leftover records of one partition still awaiting an archive
         flush.  Thanks to the order invariant in :meth:`_flush_bin`, these
         are newer than every page of that partition on the log disk and
         older than the records in its bin buffer."""
-        return [
-            record
-            for record in self._archive_buffer
-            if record.partition_address == partition
-        ]
+        with self._archive_mutex:
+            return [
+                record
+                for record in self._archive_buffer
+                if record.partition_address == partition
+            ]

@@ -16,10 +16,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.common.errors import RecoveryError
+from repro.common.errors import ChecksumError, RecoveryError, StorageError
 from repro.common.types import NULL_LSN, PartitionAddress
+from repro.sim.faults import TornWriteError
 from repro.storage.partition import Partition
 from repro.wal.log_disk import LogDisk, LogPage
+from repro.wal.records import RedoRecord
 from repro.wal.slt import PartitionBin, StableLogTail
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -97,6 +99,55 @@ def rebuild_partition(
         stats["records_applied"] += 1
     partition.bin_index = bin_.bin_index
     return partition, stats
+
+
+def rebuild_partition_resilient(
+    address: PartitionAddress,
+    checkpoint_slot: int | None,
+    disk_queue: "CheckpointDiskQueue",
+    log_disk: LogDisk,
+    slt: StableLogTail,
+    partition_size: int,
+    heap_fraction: float = 0.25,
+    pending_archive: list[RedoRecord] | None = None,
+) -> tuple[Partition, dict, bool]:
+    """:func:`rebuild_partition` with the unusable-image fallback folded in.
+
+    An unusable checkpoint image — torn by the crash, failing its CRC on
+    both mirrors, or holding a stale image of the wrong partition — is
+    survived by falling back to full-history replay from the log, the
+    archive-recovery path of paper section 2.6.  Returns ``(partition,
+    stats, used_fallback)``; the stats dict always has the normal-path
+    keys so callers aggregate uniformly.
+    """
+    try:
+        partition, stats = rebuild_partition(
+            address,
+            checkpoint_slot,
+            disk_queue,
+            log_disk,
+            slt,
+            partition_size,
+            heap_fraction,
+        )
+        return partition, stats, False
+    except (TornWriteError, ChecksumError, StorageError):
+        from repro.recovery.media import rebuild_partition_from_history
+
+        partition, media_stats = rebuild_partition_from_history(
+            address,
+            log_disk,
+            slt,
+            partition_size,
+            heap_fraction,
+            pending_archive=pending_archive,
+        )
+        stats = {
+            "pages_read": media_stats["pages_scanned"],
+            "backward_reads": 0,
+            "records_applied": media_stats["records_applied"],
+        }
+        return partition, stats, True
 
 
 def _apply_page(page: LogPage, partition: Partition, address: PartitionAddress) -> None:

@@ -19,14 +19,14 @@ Order of operations:
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING
 
 from repro.catalog.catalog import Catalog, IndexDescriptor
-from repro.common.errors import ChecksumError, RecoveryError, StorageError
+from repro.common.errors import RecoveryError, StorageError
 from repro.sim.chaos import crash_point, register_crash_point
-from repro.sim.faults import TornWriteError
 from repro.common.types import PartitionAddress, SegmentKind
-from repro.recovery.redo import rebuild_partition
+from repro.recovery.redo import rebuild_partition, rebuild_partition_resilient
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.database import Database
@@ -65,6 +65,15 @@ class RestartCoordinator:
         self.catalog_restore_seconds: float | None = None
         self.torn_images_survived = 0
         self._background_queue: list[PartitionAddress] = []
+        #: Guards the background work queue — phase-2 restore workers pull
+        #: from it concurrently under the threaded engine.
+        self._queue_mutex = threading.RLock()
+        #: Guards the aggregate statistics above.
+        self._stats_mutex = threading.Lock()
+        #: Partitions currently being rebuilt by some worker; a second
+        #: caller waits for the first instead of rebuilding twice.
+        self._inflight: set[PartitionAddress] = set()
+        self._inflight_cv = threading.Condition()
 
     # -- phase one: system state ----------------------------------------------------
 
@@ -117,9 +126,11 @@ class RestartCoordinator:
             )
             numbers = sorted(descriptor.partitions)
             segment.mark_missing(numbers)
-            self._background_queue.extend(
-                PartitionAddress(descriptor.segment_id, number) for number in numbers
-            )
+            with self._queue_mutex:
+                self._background_queue.extend(
+                    PartitionAddress(descriptor.segment_id, number)
+                    for number in numbers
+                )
 
     # -- per-partition recovery transactions ------------------------------------------------
 
@@ -138,23 +149,18 @@ class RestartCoordinator:
         except StorageError:
             # the object was dropped while awaiting recovery: nothing to do
             return None
-        if segment.is_resident(address.partition):
-            return None
-        slot = self._checkpoint_slot(address)
+        with self._inflight_cv:
+            while address in self._inflight:
+                self._inflight_cv.wait()
+            if segment.is_resident(address.partition):
+                return None
+            self._inflight.add(address)
         try:
-            partition, stats = rebuild_partition(
+            slot = self._checkpoint_slot(address)
+            partition, stats, used_fallback = rebuild_partition_resilient(
                 address,
                 slot,
                 db.checkpoint_disk,
-                db.log_disk,
-                db.slt,
-                db.config.partition_size,
-            )
-        except (TornWriteError, ChecksumError, StorageError):
-            from repro.recovery.media import rebuild_partition_from_history
-
-            partition, media_stats = rebuild_partition_from_history(
-                address,
                 db.log_disk,
                 db.slt,
                 db.config.partition_size,
@@ -162,16 +168,15 @@ class RestartCoordinator:
                     address
                 ),
             )
-            stats = {
-                "pages_read": media_stats["pages_scanned"],
-                "backward_reads": 0,
-                "records_applied": media_stats["records_applied"],
-            }
-            self.torn_images_survived += 1
-        segment.install(partition)
-        self._note(stats)
-        crash_point("restart.phase2.partition-recovered")
-        return stats
+            with db.view_lock:
+                segment.install(partition)
+            self._note(stats, used_fallback=used_fallback)
+            crash_point("restart.phase2.partition-recovered")
+            return stats
+        finally:
+            with self._inflight_cv:
+                self._inflight.discard(address)
+                self._inflight_cv.notify_all()
 
     def _checkpoint_slot(self, address: PartitionAddress) -> int | None:
         db = self.db
@@ -190,24 +195,37 @@ class RestartCoordinator:
         Returns the number of partitions recovered now.
         """
         db = self.db
-        recovered = 0
         descriptor = db.catalog.relation(name)
         targets = descriptor.partition_addresses()
         for index_descriptor in db.catalog.indexes_of(name):
             targets.extend(index_descriptor.partition_addresses())
-        for address in targets:
-            if self.recover_partition(address) is not None:
-                recovered += 1
-        return recovered
+        return db.engine.restore_partitions(targets)
 
     def recover_everything(self) -> int:
         """Database-level restoration: restore all partitions now."""
-        recovered = 0
-        for address in list(self._background_queue):
-            if self.recover_partition(address) is not None:
-                recovered += 1
-        self._background_queue.clear()
-        return recovered
+        return self.db.engine.restore_partitions(self.drain_queue())
+
+    def drain_queue(self) -> list[PartitionAddress]:
+        """Claim the whole background work queue (for a bulk restore)."""
+        with self._queue_mutex:
+            addresses = list(self._background_queue)
+            self._background_queue.clear()
+        return addresses
+
+    def requeue(self, addresses: list[PartitionAddress]) -> None:
+        """Return claimed-but-unrecovered addresses to the queue head so a
+        failed bulk restore leaves nothing stranded."""
+        if not addresses:
+            return
+        with self._queue_mutex:
+            self._background_queue[:0] = addresses
+
+    def take_pending(self) -> PartitionAddress | None:
+        """Claim one address from the background queue, or None."""
+        with self._queue_mutex:
+            if self._background_queue:
+                return self._background_queue.pop(0)
+        return None
 
     def background_step(self) -> PartitionAddress | None:
         """Low-priority sweep: restore one not-yet-recovered partition.
@@ -215,11 +233,12 @@ class RestartCoordinator:
         Called between regular transactions (section 2.5's system
         transaction).  Returns the address recovered, or None when done.
         """
-        while self._background_queue:
-            address = self._background_queue.pop(0)
+        while True:
+            address = self.take_pending()
+            if address is None:
+                return None
             if self.recover_partition(address) is not None:
                 return address
-        return None
 
     # -- progress -------------------------------------------------------------------------------
 
@@ -233,8 +252,11 @@ class RestartCoordinator:
             len(segment.missing_partitions()) for segment in self.db.memory.segments()
         )
 
-    def _note(self, stats: dict) -> None:
-        self.partitions_recovered += 1
-        self.records_replayed += stats["records_applied"]
-        self.pages_read += stats["pages_read"] + stats["backward_reads"]
-        self.backward_reads += stats["backward_reads"]
+    def _note(self, stats: dict, *, used_fallback: bool = False) -> None:
+        with self._stats_mutex:
+            self.partitions_recovered += 1
+            self.records_replayed += stats["records_applied"]
+            self.pages_read += stats["pages_read"] + stats["backward_reads"]
+            self.backward_reads += stats["backward_reads"]
+            if used_fallback:
+                self.torn_images_survived += 1

@@ -4,18 +4,47 @@ Every latency in the reproduction — instruction execution, stable-memory
 access, disk transfers — is *simulated* time on this clock.  Nothing in the
 library reads the wall clock, which keeps runs deterministic and lets the
 benchmarks report 1987-scale seconds regardless of host speed.
+
+This module is also the one sanctioned bridge between simulated time and
+*host* time (lint rule RC03 allows wall-clock imports here and nowhere
+else): :func:`host_pause` maps simulated device seconds onto real
+``time.sleep`` so the threaded engine's concurrency is measurable.  The
+bridge is inert unless a component opts in with a positive scale, so the
+deterministic cooperative schedule never touches it.
 """
 
 from __future__ import annotations
 
+import threading
+import time as _host_time
+
+
+def host_pause(seconds: float) -> None:
+    """Sleep ``seconds`` of *host* wall time (non-positive is a no-op).
+
+    Used by :class:`~repro.sim.disk.SimulatedDisk` when a realtime scale
+    is configured, so overlapped device waits in the threaded engine cost
+    overlapped host time — the property ``bench_parallel_recovery``
+    measures.  Never called on the purely simulated path.
+    """
+    if seconds > 0.0:
+        _host_time.sleep(seconds)
+
 
 class VirtualClock:
-    """A monotonically advancing simulated clock, in seconds."""
+    """A monotonically advancing simulated clock, in seconds.
+
+    Advances are atomic: processors, disks, and the threaded engine's
+    recovery/restore threads share one clock, and each advance is a
+    read-modify-write that must not be torn.  Total elapsed time is the
+    sum of all advances and therefore independent of thread interleaving.
+    """
 
     def __init__(self, start: float = 0.0):
         if start < 0.0:
             raise ValueError("clock cannot start before time zero")
         self._now = float(start)
+        self._lock = threading.Lock()
 
     @property
     def now(self) -> float:
@@ -29,8 +58,9 @@ class VirtualClock:
         """
         if seconds < 0.0:
             raise ValueError(f"cannot advance clock by {seconds!r} seconds")
-        self._now += seconds
-        return self._now
+        with self._lock:
+            self._now += seconds
+            return self._now
 
     def advance_to(self, when: float) -> float:
         """Move time forward to the absolute instant ``when``.
@@ -38,9 +68,10 @@ class VirtualClock:
         A ``when`` in the past is a no-op — this models waiting for an event
         that already happened.
         """
-        if when > self._now:
-            self._now = when
-        return self._now
+        with self._lock:
+            if when > self._now:
+                self._now = when
+            return self._now
 
     def __repr__(self) -> str:
         return f"VirtualClock(now={self._now:.6f})"

@@ -14,6 +14,7 @@ callers charge those through :meth:`CpuMeter.charge_stable_bytes`.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 
 from repro.common.config import AnalysisParameters
@@ -21,7 +22,13 @@ from repro.sim.clock import VirtualClock
 
 
 class CpuMeter:
-    """Accounts simulated instructions (and time) for one processor."""
+    """Accounts simulated instructions (and time) for one processor.
+
+    Counter updates are atomic: under the threaded engine a meter may be
+    charged from the recovery thread while the main thread reads it (the
+    monitor, the benchmarks), so each charge is one locked read-modify-write
+    and the totals are interleaving-independent.
+    """
 
     def __init__(
         self,
@@ -38,6 +45,7 @@ class CpuMeter:
         self.params = params if params is not None else AnalysisParameters()
         self._by_category: Counter[str] = Counter()
         self._total_instructions = 0.0
+        self._lock = threading.Lock()
 
     # -- charging -----------------------------------------------------------
 
@@ -50,8 +58,9 @@ class CpuMeter:
         """
         if instructions < 0.0:
             raise ValueError("cannot charge a negative instruction count")
-        self._by_category[category] += instructions
-        self._total_instructions += instructions
+        with self._lock:
+            self._by_category[category] += instructions
+            self._total_instructions += instructions
         seconds = instructions / (self.mips * 1_000_000.0)
         self.clock.advance(seconds)
         return seconds
@@ -81,7 +90,8 @@ class CpuMeter:
 
     def category_breakdown(self) -> dict[str, float]:
         """Instruction totals keyed by charge category."""
-        return dict(self._by_category)
+        with self._lock:
+            return dict(self._by_category)
 
     def busy_seconds(self) -> float:
         """Simulated seconds this processor has spent executing."""
@@ -89,8 +99,9 @@ class CpuMeter:
 
     def reset(self) -> None:
         """Zero the counters (the clock is left untouched)."""
-        self._by_category.clear()
-        self._total_instructions = 0.0
+        with self._lock:
+            self._by_category.clear()
+            self._total_instructions = 0.0
 
     def __repr__(self) -> str:
         return (

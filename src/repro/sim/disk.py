@@ -15,12 +15,13 @@ to protect against: see :class:`DuplexedDisk`.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.common.checksum import open_frame, seal_frame
 from repro.common.config import DiskParameters
 from repro.common.errors import ChecksumError, MediaFailure
-from repro.sim.clock import VirtualClock
+from repro.sim.clock import VirtualClock, host_pause
 from repro.sim.faults import TornWriteError
 
 #: Corruption kinds accepted by :meth:`SimulatedDisk.corrupt_block`.
@@ -78,6 +79,14 @@ class SimulatedDisk:
         self._blocks: dict[int, _Block] = {}
         #: When set, the next write is torn: the block is left unreadable.
         self._tear_next_write = False
+        #: Host seconds slept per simulated device second (0.0 = purely
+        #: simulated).  The threaded engine's restore benchmark raises this
+        #: so overlapped device waits cost overlapped wall time; the sleep
+        #: happens outside the block mutex, so concurrent readers overlap.
+        self.realtime_scale = 0.0
+        #: Guards the block table and stats — the recovery thread flushes
+        #: log pages while restore workers read checkpoint tracks.
+        self._mutex = threading.RLock()
 
     # -- fault injection ------------------------------------------------------
 
@@ -99,10 +108,13 @@ class SimulatedDisk:
           (a lost write); falls back to zero-fill when the block was
           never overwritten.
         """
-        try:
-            block = self._blocks[block_id]
-        except KeyError:
-            raise KeyError(f"disk {self.name!r} has no block {block_id}") from None
+        with self._mutex:
+            try:
+                block = self._blocks[block_id]
+            except KeyError:
+                raise KeyError(
+                    f"disk {self.name!r} has no block {block_id}"
+                ) from None
         if kind == "torn":
             block.intact = False
         elif kind == "bit-flip":
@@ -127,17 +139,33 @@ class SimulatedDisk:
 
     def write_page(self, block_id: int, data: bytes, *, sibling: bool = False) -> None:
         """Write one individually addressed page."""
-        self._account_write(self.params.page_write_time(len(data), sibling=sibling))
-        self.stats.page_writes += 1
-        self._store(block_id, data)
+        seconds = self.params.page_write_time(len(data), sibling=sibling)
+        with self._mutex:
+            self.stats.page_writes += 1
+            self._store(block_id, data)
+        self._account_write(seconds)
 
     def write_track(self, block_id: int, data: bytes) -> None:
         """Write whole tracks (used for partition checkpoint images)."""
-        self._account_write(self.params.track_write_time(len(data)))
-        self.stats.track_writes += 1
-        self._store(block_id, data)
+        seconds = self.params.track_write_time(len(data))
+        with self._mutex:
+            self.stats.track_writes += 1
+            self._store(block_id, data)
+        self._account_write(seconds)
+
+    def mirror_store(self, block_id: int, data: bytes) -> None:
+        """Store bytes as the mirror half of a duplexed write.
+
+        The mirror's transfer overlaps the primary's in real hardware, so
+        the shared clock is not advanced a second time — only this disk's
+        own stats record the write.
+        """
+        with self._mutex:
+            self.stats.page_writes += 1
+            self._store(block_id, data)
 
     def _store(self, block_id: int, data: bytes) -> None:
+        # caller holds self._mutex
         intact = not self._tear_next_write
         self._tear_next_write = False
         old = self._blocks.get(block_id)
@@ -146,26 +174,31 @@ class SimulatedDisk:
         self.stats.bytes_written += len(data)
 
     def _account_write(self, seconds: float) -> None:
-        self.stats.busy_seconds += seconds
+        with self._mutex:
+            self.stats.busy_seconds += seconds
         self.clock.advance(seconds)
+        host_pause(seconds * self.realtime_scale)
 
     # -- reads ----------------------------------------------------------------
 
     def read_page(self, block_id: int, *, sibling: bool = False) -> bytes:
-        block = self._fetch(block_id)
+        with self._mutex:
+            block = self._fetch(block_id)
+            self.stats.page_reads += 1
         seconds = self.params.page_read_time(len(block.data), sibling=sibling)
-        self.stats.page_reads += 1
         self._account_read(seconds, len(block.data))
         return block.data
 
     def read_track(self, block_id: int) -> bytes:
-        block = self._fetch(block_id)
+        with self._mutex:
+            block = self._fetch(block_id)
+            self.stats.track_reads += 1
         seconds = self.params.track_read_time(len(block.data))
-        self.stats.track_reads += 1
         self._account_read(seconds, len(block.data))
         return block.data
 
     def _fetch(self, block_id: int) -> _Block:
+        # caller holds self._mutex
         try:
             block = self._blocks[block_id]
         except KeyError:
@@ -177,9 +210,11 @@ class SimulatedDisk:
         return block
 
     def _account_read(self, seconds: float, nbytes: int) -> None:
-        self.stats.busy_seconds += seconds
-        self.stats.bytes_read += nbytes
+        with self._mutex:
+            self.stats.busy_seconds += seconds
+            self.stats.bytes_read += nbytes
         self.clock.advance(seconds)
+        host_pause(seconds * self.realtime_scale)
 
     # -- inspection -----------------------------------------------------------
 
@@ -188,7 +223,8 @@ class SimulatedDisk:
 
     def free(self, block_id: int) -> None:
         """Release a block (space reclamation; no timing charged)."""
-        self._blocks.pop(block_id, None)
+        with self._mutex:
+            self._blocks.pop(block_id, None)
 
     def destroy(self) -> int:
         """Media failure: every block on this spindle is lost.
@@ -196,12 +232,14 @@ class SimulatedDisk:
         Returns the number of blocks destroyed.  Recovery from this is
         the archive-recovery problem of paper section 2.6.
         """
-        lost = len(self._blocks)
-        self._blocks.clear()
-        return lost
+        with self._mutex:
+            lost = len(self._blocks)
+            self._blocks.clear()
+            return lost
 
     def block_ids(self) -> list[int]:
-        return sorted(self._blocks)
+        with self._mutex:
+            return sorted(self._blocks)
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -234,10 +272,7 @@ class DuplexedDisk:
     def write_page(self, block_id: int, data: bytes, *, sibling: bool = False) -> None:
         framed = seal_frame(data)
         self.primary.write_page(block_id, framed, sibling=sibling)
-        # The mirror write overlaps the primary's in real hardware; store the
-        # bytes without advancing the shared clock a second time.
-        self.mirror.stats.page_writes += 1
-        self.mirror._store(block_id, framed)
+        self.mirror.mirror_store(block_id, framed)
 
     def read_page(self, block_id: int, *, sibling: bool = False) -> bytes:
         try:

@@ -17,13 +17,21 @@ budgets exactly as sections 2.3.1 and 2.3.3 describe.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterator
 
 from repro.common.errors import StableMemoryFullError
 
 
 class StableMemory:
-    """A capacity-tracked region of stable reliable RAM."""
+    """A capacity-tracked region of stable reliable RAM.
+
+    The allocator is thread-safe: under the threaded engine the main CPU
+    allocates SLB blocks while the recovery thread releases drained ones,
+    so the allocation table and the used-byte ledger mutate under one
+    internal lock.  (The paper's stable RAM has exactly this property —
+    both processors address it directly.)
+    """
 
     def __init__(self, name: str, capacity_bytes: int):
         if capacity_bytes <= 0:
@@ -32,6 +40,7 @@ class StableMemory:
         self.capacity_bytes = capacity_bytes
         self._allocations: dict[str, tuple[int, Any]] = {}
         self._used = 0
+        self._lock = threading.RLock()
 
     # -- allocation ------------------------------------------------------------
 
@@ -44,20 +53,22 @@ class StableMemory:
         """
         if nbytes < 0:
             raise ValueError("allocation size cannot be negative")
-        if key in self._allocations:
-            raise KeyError(f"stable memory {self.name!r} already holds {key!r}")
-        if self._used + nbytes > self.capacity_bytes:
-            raise StableMemoryFullError(
-                f"stable memory {self.name!r} full: "
-                f"{self._used} + {nbytes} > {self.capacity_bytes} bytes"
-            )
-        self._allocations[key] = (nbytes, value)
-        self._used += nbytes
+        with self._lock:
+            if key in self._allocations:
+                raise KeyError(f"stable memory {self.name!r} already holds {key!r}")
+            if self._used + nbytes > self.capacity_bytes:
+                raise StableMemoryFullError(
+                    f"stable memory {self.name!r} full: "
+                    f"{self._used} + {nbytes} > {self.capacity_bytes} bytes"
+                )
+            self._allocations[key] = (nbytes, value)
+            self._used += nbytes
 
     def store(self, key: str, value: Any) -> None:
         """Overwrite the value of an existing allocation (size unchanged)."""
-        nbytes, _ = self._require(key)
-        self._allocations[key] = (nbytes, value)
+        with self._lock:
+            nbytes, _ = self._require(key)
+            self._allocations[key] = (nbytes, value)
 
     def load(self, key: str) -> Any:
         """Read the value stored under ``key``."""
@@ -65,21 +76,23 @@ class StableMemory:
 
     def release(self, key: str) -> None:
         """Free an allocation."""
-        nbytes, _ = self._require(key)
-        del self._allocations[key]
-        self._used -= nbytes
+        with self._lock:
+            nbytes, _ = self._require(key)
+            del self._allocations[key]
+            self._used -= nbytes
 
     def resize(self, key: str, nbytes: int) -> None:
         """Change the capacity charge of an existing allocation."""
         if nbytes < 0:
             raise ValueError("allocation size cannot be negative")
-        old_bytes, value = self._require(key)
-        if self._used - old_bytes + nbytes > self.capacity_bytes:
-            raise StableMemoryFullError(
-                f"stable memory {self.name!r} full resizing {key!r}"
-            )
-        self._allocations[key] = (nbytes, value)
-        self._used += nbytes - old_bytes
+        with self._lock:
+            old_bytes, value = self._require(key)
+            if self._used - old_bytes + nbytes > self.capacity_bytes:
+                raise StableMemoryFullError(
+                    f"stable memory {self.name!r} full resizing {key!r}"
+                )
+            self._allocations[key] = (nbytes, value)
+            self._used += nbytes - old_bytes
 
     def _require(self, key: str) -> tuple[int, Any]:
         try:

@@ -18,6 +18,7 @@ page of each directory group, the embedded directory of the previous group
 from __future__ import annotations
 
 import struct
+import threading
 from dataclasses import dataclass, field
 
 from repro.common.errors import LogError, LogWindowOverrunError
@@ -115,21 +116,36 @@ class ArchiveStore:
 
     def __init__(self):
         self._pages: dict[int, bytes] = {}
+        #: The recovery thread archives expired pages while restore
+        #: workers read archived history concurrently.
+        self._lock = threading.Lock()
 
     def accept(self, lsn: int, blob: bytes) -> None:
-        self._pages[lsn] = blob
+        with self._lock:
+            self._pages[lsn] = blob
 
     def __len__(self) -> int:
-        return len(self._pages)
+        with self._lock:
+            return len(self._pages)
 
     def __contains__(self, lsn: int) -> bool:
-        return lsn in self._pages
+        with self._lock:
+            return lsn in self._pages
+
+    def raw(self, lsn: int) -> bytes:
+        """The stored page bytes, undecoded."""
+        with self._lock:
+            try:
+                return self._pages[lsn]
+            except KeyError:
+                raise LogError(f"archive has no page {lsn}") from None
+
+    def lsns(self) -> list[int]:
+        with self._lock:
+            return sorted(self._pages)
 
     def read(self, lsn: int) -> LogPage:
-        try:
-            return LogPage.decode(self._pages[lsn])
-        except KeyError:
-            raise LogError(f"archive has no page {lsn}") from None
+        return LogPage.decode(self.raw(lsn))
 
 
 class LogDisk:
@@ -145,6 +161,10 @@ class LogDisk:
         self._next_lsn = 0
         self.pages_written = 0
         self.pages_read = 0
+        #: Serialises appends (LSN assignment + window slide) and the
+        #: read/write counters.  Reads perform disk I/O outside this lock
+        #: so phase-2 restore workers genuinely overlap their log reads.
+        self._mutex = threading.RLock()
 
     # -- window geometry ----------------------------------------------------------
 
@@ -171,14 +191,15 @@ class LogDisk:
     def append_page(self, page: LogPage) -> int:
         """Assign the next LSN, write the page (both spindles), slide the
         window, and archive any page that just fell out."""
-        page.lsn = self._next_lsn
-        self._next_lsn += 1
-        crash_point("log-disk.append.before-write")
-        self.disks.write_page(page.lsn, page.encode(), sibling=True)
-        crash_point("log-disk.append.after-write")
-        self.pages_written += 1
-        self._reclaim_expired()
-        return page.lsn
+        with self._mutex:
+            page.lsn = self._next_lsn
+            self._next_lsn += 1
+            crash_point("log-disk.append.before-write")
+            self.disks.write_page(page.lsn, page.encode(), sibling=True)
+            crash_point("log-disk.append.after-write")
+            self.pages_written += 1
+            self._reclaim_expired()
+            return page.lsn
 
     def append_opaque_page(self, marker_segment: int, body: bytes) -> int:
         """Write a non-REDO page (audit trail) in the same LSN space.
@@ -187,25 +208,26 @@ class LogDisk:
         its owner so scans can classify it, but its body is opaque to the
         REDO machinery.
         """
-        lsn = self._next_lsn
-        self._next_lsn += 1
-        header = _PAGE_HEADER.pack(marker_segment, 0, lsn, 0, len(body))
-        # Same crash bracket as append_page: opaque pages share the LSN
-        # space and the duplexed write path, so the sweep exercises a
-        # crash on both sides of the write here too.
-        crash_point("log-disk.append.before-write")
-        self.disks.write_page(lsn, header + body, sibling=True)
-        crash_point("log-disk.append.after-write")
-        self.pages_written += 1
-        self._reclaim_expired()
-        return lsn
+        with self._mutex:
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            header = _PAGE_HEADER.pack(marker_segment, 0, lsn, 0, len(body))
+            # Same crash bracket as append_page: opaque pages share the LSN
+            # space and the duplexed write path, so the sweep exercises a
+            # crash on both sides of the write here too.
+            crash_point("log-disk.append.before-write")
+            self.disks.write_page(lsn, header + body, sibling=True)
+            crash_point("log-disk.append.after-write")
+            self.pages_written += 1
+            self._reclaim_expired()
+            return lsn
 
     def read_opaque_page(self, lsn: int, marker_segment: int) -> bytes:
         """Read back an opaque page's body, checking its marker."""
         if self.disks.contains(lsn):
             blob = self.disks.read_page(lsn, sibling=True)
         elif lsn in self.archive:
-            blob = self.archive._pages[lsn]
+            blob = self.archive.raw(lsn)
         else:
             raise LogError(f"log page {lsn} not found on disk or archive")
         segment, _, page_lsn, _, body_len = _PAGE_HEADER.unpack_from(blob, 0)
@@ -226,7 +248,8 @@ class LogDisk:
             page = self.archive.read(lsn)
         else:
             raise LogError(f"log page {lsn} not found on disk or archive")
-        self.pages_read += 1
+        with self._mutex:
+            self.pages_read += 1
         if page.lsn != lsn:
             raise LogError(f"log page {lsn} carries LSN {page.lsn}")
         if expected is not None and page.partition != expected:
@@ -241,7 +264,7 @@ class LogDisk:
         if self.disks.contains(lsn):
             blob = self.disks.read_page(lsn, sibling=True)
         elif lsn in self.archive:
-            blob = self.archive._pages[lsn]
+            blob = self.archive.raw(lsn)
         else:
             raise LogError(f"log page {lsn} not found on disk or archive")
         segment, partition, _, _, _ = _PAGE_HEADER.unpack_from(blob, 0)
@@ -249,7 +272,7 @@ class LogDisk:
 
     def all_lsns(self) -> list[int]:
         """Every page LSN still held anywhere: active window plus archive."""
-        return sorted(set(self.disks.block_ids()) | set(self.archive._pages))
+        return sorted(set(self.disks.block_ids()) | set(self.archive.lsns()))
 
     def _reclaim_expired(self) -> None:
         start = self.window_start

@@ -21,6 +21,7 @@ list of section 2.5), exposed through :meth:`put_well_known` /
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -86,6 +87,13 @@ class StableLogBuffer:
         self._committed: list[TransactionLogChain] = []
         self._well_known: dict[str, object] = {}
         self.stable.allocate("slb-well-known", WELL_KNOWN_RESERVE, self._well_known)
+        #: Serialises the chain lists and statistics between the main
+        #: CPU's transaction threads and the recovery thread's drain.
+        #: Lock order: ``_mutex`` → ``block_latch`` → stable-memory lock;
+        #: the block latch is only ever taken under the mutex, so its
+        #: raise-on-contention semantics stay meaningful (a contended
+        #: latch would indicate a hole in the mutex discipline).
+        self._mutex = threading.RLock()
         # statistics
         self.records_written = 0
         self.bytes_written = 0
@@ -95,11 +103,12 @@ class StableLogBuffer:
     # -- transaction chains ------------------------------------------------------
 
     def open_chain(self, txn_id: int) -> TransactionLogChain:
-        if txn_id in self._uncommitted:
-            raise TransactionStateError(f"txn {txn_id} already has an open chain")
-        chain = TransactionLogChain(txn_id, self.block_size)
-        self._uncommitted[txn_id] = chain
-        return chain
+        with self._mutex:
+            if txn_id in self._uncommitted:
+                raise TransactionStateError(f"txn {txn_id} already has an open chain")
+            chain = TransactionLogChain(txn_id, self.block_size)
+            self._uncommitted[txn_id] = chain
+            return chain
 
     def append(self, txn_id: int, record: RedoRecord) -> None:
         """Write one REDO record into the transaction's chain.
@@ -108,12 +117,13 @@ class StableLogBuffer:
         allocated — the main CPU must let the recovery CPU drain the
         committed list and retry (back-pressure).
         """
-        chain = self._require_open(txn_id)
-        if not chain.fits_in_current(record):
-            self._allocate_block(chain)
-        chain.append_to_current(record)
-        self.records_written += 1
-        self.bytes_written += record.size_bytes
+        with self._mutex:
+            chain = self._require_open(txn_id)
+            if not chain.fits_in_current(record):
+                self._allocate_block(chain)
+            chain.append_to_current(record)
+            self.records_written += 1
+            self.bytes_written += record.size_bytes
 
     def _allocate_block(self, chain: TransactionLogChain) -> None:
         # Block allocation is the one critical section of the log path.
@@ -145,18 +155,20 @@ class StableLogBuffer:
         in stable memory, so the transaction is durable the moment the
         chain changes lists.
         """
-        chain = self._require_open(txn_id)
-        del self._uncommitted[txn_id]
-        self._committed.append(chain)
-        self.commits += 1
+        with self._mutex:
+            chain = self._require_open(txn_id)
+            del self._uncommitted[txn_id]
+            self._committed.append(chain)
+            self.commits += 1
 
     def abort(self, txn_id: int) -> None:
         """Discard the chain of an aborting transaction and free its blocks."""
-        chain = self._uncommitted.pop(txn_id, None)
-        if chain is None:
-            return
-        self._free_chain(chain)
-        self.aborts += 1
+        with self._mutex:
+            chain = self._uncommitted.pop(txn_id, None)
+            if chain is None:
+                return
+            self._free_chain(chain)
+            self.aborts += 1
 
     def _free_chain(self, chain: TransactionLogChain) -> None:
         for block in chain.blocks:
@@ -170,27 +182,29 @@ class StableLogBuffer:
         commit would reapply work the statement rolled back.  Returns the
         number of records removed.
         """
-        chain = self._require_open(txn_id)
-        if keep_records < 0:
-            raise ValueError("keep_records cannot be negative")
-        if keep_records >= chain.record_count:
-            return 0
-        kept = list(chain.records())[:keep_records]
-        removed = chain.record_count - keep_records
-        self._free_chain(chain)
-        chain.blocks = []
-        chain.record_count = 0
-        for record in kept:
-            if not chain.fits_in_current(record):
-                self._allocate_block(chain)
-            chain.append_to_current(record)
-        self.records_written -= removed
-        return removed
+        with self._mutex:
+            chain = self._require_open(txn_id)
+            if keep_records < 0:
+                raise ValueError("keep_records cannot be negative")
+            if keep_records >= chain.record_count:
+                return 0
+            kept = list(chain.records())[:keep_records]
+            removed = chain.record_count - keep_records
+            self._free_chain(chain)
+            chain.blocks = []
+            chain.record_count = 0
+            for record in kept:
+                if not chain.fits_in_current(record):
+                    self._allocate_block(chain)
+                chain.append_to_current(record)
+            self.records_written -= removed
+            return removed
 
     # -- recovery-CPU drain ------------------------------------------------------------
 
     def committed_record_count(self) -> int:
-        return sum(chain.record_count for chain in self._committed)
+        with self._mutex:
+            return sum(chain.record_count for chain in self._committed)
 
     def drain_committed(self, max_records: int | None = None) -> list[RedoRecord]:
         """Remove and return committed records in commit order.
@@ -200,20 +214,21 @@ class StableLogBuffer:
         bounds one drain step so the simulation can interleave work.
         """
         drained: list[RedoRecord] = []
-        while self._committed:
-            chain = self._committed[0]
-            remaining = None if max_records is None else max_records - len(drained)
-            if remaining is not None and remaining <= 0:
-                break
-            records = list(chain.records())
-            if remaining is not None and len(records) > remaining:
-                # Partially drain the head chain: keep the tail records.
-                drained.extend(records[:remaining])
-                self._retain_tail(chain, records[remaining:])
-                break
-            drained.extend(records)
-            self._committed.pop(0)
-            self._free_chain(chain)
+        with self._mutex:
+            while self._committed:
+                chain = self._committed[0]
+                remaining = None if max_records is None else max_records - len(drained)
+                if remaining is not None and remaining <= 0:
+                    break
+                records = list(chain.records())
+                if remaining is not None and len(records) > remaining:
+                    # Partially drain the head chain: keep the tail records.
+                    drained.extend(records[:remaining])
+                    self._retain_tail(chain, records[remaining:])
+                    break
+                drained.extend(records)
+                self._committed.pop(0)
+                self._free_chain(chain)
         return drained
 
     def requeue_committed(self, records: list[RedoRecord]) -> None:
@@ -227,12 +242,13 @@ class StableLogBuffer:
         """
         if not records:
             return
-        chain = TransactionLogChain(-1, self.block_size)
-        for record in records:
-            if not chain.fits_in_current(record):
-                self._allocate_block(chain)
-            chain.append_to_current(record)
-        self._committed.insert(0, chain)
+        with self._mutex:
+            chain = TransactionLogChain(-1, self.block_size)
+            for record in records:
+                if not chain.fits_in_current(record):
+                    self._allocate_block(chain)
+                chain.append_to_current(record)
+            self._committed.insert(0, chain)
 
     def _retain_tail(self, chain: TransactionLogChain, tail: list[RedoRecord]) -> None:
         """Rebuild the head chain to contain only its undrained records."""
@@ -249,32 +265,38 @@ class StableLogBuffer:
     def discard_uncommitted(self) -> int:
         """Post-crash policy: drop chains of transactions that never
         committed.  Returns the number of chains discarded."""
-        count = len(self._uncommitted)
-        for chain in self._uncommitted.values():
-            self._free_chain(chain)
-        self._uncommitted.clear()
-        return count
+        with self._mutex:
+            count = len(self._uncommitted)
+            for chain in self._uncommitted.values():
+                self._free_chain(chain)
+            self._uncommitted.clear()
+            return count
 
     # -- well-known communication areas -----------------------------------------------------
 
     def put_well_known(self, key: str, value: object) -> None:
         """Store a value in the SLB's well-known area (survives crashes)."""
-        self._well_known[key] = value
+        with self._mutex:
+            self._well_known[key] = value
 
     def get_well_known(self, key: str, default: object = None) -> object:
-        return self._well_known.get(key, default)
+        with self._mutex:
+            return self._well_known.get(key, default)
 
     # -- inspection ---------------------------------------------------------------------------
 
     @property
     def uncommitted_txn_ids(self) -> list[int]:
-        return sorted(self._uncommitted)
+        with self._mutex:
+            return sorted(self._uncommitted)
 
     @property
     def committed_chain_count(self) -> int:
-        return len(self._committed)
+        with self._mutex:
+            return len(self._committed)
 
     def used_blocks(self) -> int:
-        return sum(
-            len(chain.blocks) for chain in self._uncommitted.values()
-        ) + sum(len(chain.blocks) for chain in self._committed)
+        with self._mutex:
+            return sum(
+                len(chain.blocks) for chain in self._uncommitted.values()
+            ) + sum(len(chain.blocks) for chain in self._committed)

@@ -26,6 +26,7 @@ The information block holds exactly the four entries of the paper:
 from __future__ import annotations
 
 import heapq
+import threading
 from dataclasses import dataclass, field
 
 from repro.common.config import SystemConfig
@@ -86,6 +87,10 @@ class StableLogTail:
         self._first_lsn_heap: list[tuple[int, int]] = []
         self._well_known: dict[str, object] = {}
         self.stable.allocate("slt-well-known", 16 * 1024, self._well_known)
+        #: Serialises the bin table between the recovery thread's sorting
+        #: loop and restore workers reading bins during phase-2 recovery.
+        #: Lock order: ``_mutex`` → stable-memory lock.
+        self._mutex = threading.RLock()
         # statistics
         self.records_binned = 0
         self.pages_sealed = 0
@@ -94,48 +99,54 @@ class StableLogTail:
 
     def register_partition(self, partition: PartitionAddress) -> int:
         """Create the permanent information block for a new partition."""
-        if partition in self._by_partition:
-            raise LogError(f"{partition} already has a bin")
-        bin_index = self._next_bin_index
-        self._next_bin_index += 1
-        self.stable.allocate(f"slt-info-{bin_index}", INFO_BLOCK_BYTES)
-        bin_ = PartitionBin(bin_index, partition)
-        self._bins[bin_index] = bin_
-        self._by_partition[partition] = bin_index
-        return bin_index
+        with self._mutex:
+            if partition in self._by_partition:
+                raise LogError(f"{partition} already has a bin")
+            bin_index = self._next_bin_index
+            self._next_bin_index += 1
+            self.stable.allocate(f"slt-info-{bin_index}", INFO_BLOCK_BYTES)
+            bin_ = PartitionBin(bin_index, partition)
+            self._bins[bin_index] = bin_
+            self._by_partition[partition] = bin_index
+            return bin_index
 
     def drop_partition(self, partition: PartitionAddress) -> None:
         """Remove a de-allocated partition's bin entirely."""
-        bin_index = self.bin_index_of(partition)
-        bin_ = self._bins.pop(bin_index)
-        del self._by_partition[partition]
-        self.stable.release(f"slt-info-{bin_index}")
-        if f"slt-page-{bin_index}" in self.stable:
-            self.stable.release(f"slt-page-{bin_index}")
-        bin_.buffer.clear()
+        with self._mutex:
+            bin_index = self.bin_index_of(partition)
+            bin_ = self._bins.pop(bin_index)
+            del self._by_partition[partition]
+            self.stable.release(f"slt-info-{bin_index}")
+            if f"slt-page-{bin_index}" in self.stable:
+                self.stable.release(f"slt-page-{bin_index}")
+            bin_.buffer.clear()
 
     # -- lookup -----------------------------------------------------------------------
 
     def bin(self, bin_index: int) -> PartitionBin:
-        try:
-            return self._bins[bin_index]
-        except KeyError:
-            raise LogError(f"no partition bin {bin_index}") from None
+        with self._mutex:
+            try:
+                return self._bins[bin_index]
+            except KeyError:
+                raise LogError(f"no partition bin {bin_index}") from None
 
     def bin_index_of(self, partition: PartitionAddress) -> int:
-        try:
-            return self._by_partition[partition]
-        except KeyError:
-            raise LogError(f"{partition} has no bin") from None
+        with self._mutex:
+            try:
+                return self._by_partition[partition]
+            except KeyError:
+                raise LogError(f"{partition} has no bin") from None
 
     def bin_for_partition(self, partition: PartitionAddress) -> PartitionBin:
         return self.bin(self.bin_index_of(partition))
 
     def has_partition(self, partition: PartitionAddress) -> bool:
-        return partition in self._by_partition
+        with self._mutex:
+            return partition in self._by_partition
 
     def bins(self) -> list[PartitionBin]:
-        return [self._bins[i] for i in sorted(self._bins)]
+        with self._mutex:
+            return [self._bins[i] for i in sorted(self._bins)]
 
     def active_bins(self) -> list[PartitionBin]:
         return [b for b in self.bins() if b.active]
@@ -150,22 +161,23 @@ class StableLogTail:
         full, i.e. the caller (recovery processor) should seal and flush a
         page.
         """
-        bin_ = self.bin(record.bin_index)
-        if bin_.partition != record.partition_address:
-            raise LogError(
-                f"record for {record.partition_address} carries bin index "
-                f"{record.bin_index} of {bin_.partition}"
-            )
-        if not bin_.buffer and f"slt-page-{bin_.bin_index}" not in self.stable:
-            # Partition becomes active: allocate its page buffer.
-            self.stable.allocate(
-                f"slt-page-{bin_.bin_index}", self.config.log_page_size
-            )
-        bin_.buffer.append(record)
-        bin_.buffer_bytes += record.size_bytes
-        bin_.update_count += 1
-        self.records_binned += 1
-        return bin_.buffer_bytes >= self.config.log_page_size
+        with self._mutex:
+            bin_ = self.bin(record.bin_index)
+            if bin_.partition != record.partition_address:
+                raise LogError(
+                    f"record for {record.partition_address} carries bin index "
+                    f"{record.bin_index} of {bin_.partition}"
+                )
+            if not bin_.buffer and f"slt-page-{bin_.bin_index}" not in self.stable:
+                # Partition becomes active: allocate its page buffer.
+                self.stable.allocate(
+                    f"slt-page-{bin_.bin_index}", self.config.log_page_size
+                )
+            bin_.buffer.append(record)
+            bin_.buffer_bytes += record.size_bytes
+            bin_.update_count += 1
+            self.records_binned += 1
+            return bin_.buffer_bytes >= self.config.log_page_size
 
     def seal_page(self, bin_index: int) -> LogPage:
         """Turn the bin's buffered records into a flushable log page.
@@ -177,21 +189,22 @@ class StableLogTail:
         :meth:`note_page_written` confirms the page is durable on the log
         disk — a crash between seal and write must not lose them.
         """
-        bin_ = self.bin(bin_index)
-        if not bin_.buffer:
-            raise LogError(f"bin {bin_index} has nothing to seal")
-        embedded = (
-            list(bin_.directory)
-            if len(bin_.directory) >= self.config.log_directory_size
-            else []
-        )
-        page = LogPage(
-            partition=bin_.partition,
-            records=list(bin_.buffer),
-            embedded_directory=embedded,
-        )
-        self.pages_sealed += 1
-        return page
+        with self._mutex:
+            bin_ = self.bin(bin_index)
+            if not bin_.buffer:
+                raise LogError(f"bin {bin_index} has nothing to seal")
+            embedded = (
+                list(bin_.directory)
+                if len(bin_.directory) >= self.config.log_directory_size
+                else []
+            )
+            page = LogPage(
+                partition=bin_.partition,
+                records=list(bin_.buffer),
+                embedded_directory=embedded,
+            )
+            self.pages_sealed += 1
+            return page
 
     def note_page_written(
         self, bin_index: int, lsn: int, flushed_records: int | None = None
@@ -199,32 +212,34 @@ class StableLogTail:
         """Record a flushed page: drain the now-durable records from the
         bin buffer and update the directory, first-LSN monitor, and the
         First-LSN list used for age triggers."""
-        bin_ = self.bin(bin_index)
-        if flushed_records is None:
-            flushed_records = len(bin_.buffer)
-        flushed = bin_.buffer[:flushed_records]
-        del bin_.buffer[:flushed_records]
-        bin_.buffer_bytes -= sum(record.size_bytes for record in flushed)
-        if bin_.first_page_lsn == NULL_LSN:
-            bin_.first_page_lsn = lsn
-            heapq.heappush(self._first_lsn_heap, (lsn, bin_index))
-        if len(bin_.directory) >= self.config.log_directory_size:
-            bin_.directory = [lsn]  # the page embedded the previous group
-        else:
-            bin_.directory.append(lsn)
-        bin_.flushed_pages += 1
+        with self._mutex:
+            bin_ = self.bin(bin_index)
+            if flushed_records is None:
+                flushed_records = len(bin_.buffer)
+            flushed = bin_.buffer[:flushed_records]
+            del bin_.buffer[:flushed_records]
+            bin_.buffer_bytes -= sum(record.size_bytes for record in flushed)
+            if bin_.first_page_lsn == NULL_LSN:
+                bin_.first_page_lsn = lsn
+                heapq.heappush(self._first_lsn_heap, (lsn, bin_index))
+            if len(bin_.directory) >= self.config.log_directory_size:
+                bin_.directory = [lsn]  # the page embedded the previous group
+            else:
+                bin_.directory.append(lsn)
+            bin_.flushed_pages += 1
 
     # -- checkpoint triggers -----------------------------------------------------------------
 
     def update_count_candidates(self) -> list[PartitionBin]:
         """Bins whose update count crossed the threshold and are not yet
         marked for a checkpoint."""
-        threshold = self.config.update_count_threshold
-        return [
-            b
-            for b in self.bins()
-            if not b.marked_for_checkpoint and b.update_count >= threshold
-        ]
+        with self._mutex:
+            threshold = self.config.update_count_threshold
+            return [
+                b
+                for b in self.bins()
+                if not b.marked_for_checkpoint and b.update_count >= threshold
+            ]
 
     def age_candidates(self, age_trigger_lsn: int) -> list[PartitionBin]:
         """Bins whose first log page is about to fall off the log window.
@@ -233,23 +248,25 @@ class StableLogTail:
         stale heap entries (already checkpointed) are discarded lazily.
         """
         candidates = []
-        while self._first_lsn_heap:
-            lsn, bin_index = self._first_lsn_heap[0]
-            bin_ = self._bins.get(bin_index)
-            if bin_ is None or bin_.first_page_lsn != lsn:
-                heapq.heappop(self._first_lsn_heap)  # stale entry
-                continue
-            if lsn >= age_trigger_lsn:
-                break
-            heapq.heappop(self._first_lsn_heap)
-            if not bin_.marked_for_checkpoint:
-                candidates.append(bin_)
+        with self._mutex:
+            while self._first_lsn_heap:
+                lsn, bin_index = self._first_lsn_heap[0]
+                bin_ = self._bins.get(bin_index)
+                if bin_ is None or bin_.first_page_lsn != lsn:
+                    heapq.heappop(self._first_lsn_heap)  # stale entry
+                    continue
+                if lsn >= age_trigger_lsn:
+                    break
+                heapq.heappop(self._first_lsn_heap)
+                if not bin_.marked_for_checkpoint:
+                    candidates.append(bin_)
         return candidates
 
     def mark_for_checkpoint(self, bin_index: int, reason: str) -> None:
-        bin_ = self.bin(bin_index)
-        bin_.marked_for_checkpoint = True
-        bin_.checkpoint_reason = reason
+        with self._mutex:
+            bin_ = self.bin(bin_index)
+            bin_.marked_for_checkpoint = True
+            bin_.checkpoint_reason = reason
 
     def reset_after_checkpoint(self, bin_index: int) -> list[RedoRecord]:
         """Complete a checkpoint: the bin's log information is no longer
@@ -259,24 +276,27 @@ class StableLogTail:
         the log disk (combined into full archive pages) because they are
         still needed for media recovery (section 2.4).
         """
-        bin_ = self.bin(bin_index)
-        leftovers = list(bin_.buffer)
-        bin_.buffer.clear()
-        bin_.buffer_bytes = 0
-        bin_.update_count = 0
-        bin_.first_page_lsn = NULL_LSN
-        bin_.directory = []
-        bin_.flushed_pages = 0
-        bin_.marked_for_checkpoint = False
-        bin_.checkpoint_reason = None
-        if f"slt-page-{bin_index}" in self.stable:
-            self.stable.release(f"slt-page-{bin_index}")
-        return leftovers
+        with self._mutex:
+            bin_ = self.bin(bin_index)
+            leftovers = list(bin_.buffer)
+            bin_.buffer.clear()
+            bin_.buffer_bytes = 0
+            bin_.update_count = 0
+            bin_.first_page_lsn = NULL_LSN
+            bin_.directory = []
+            bin_.flushed_pages = 0
+            bin_.marked_for_checkpoint = False
+            bin_.checkpoint_reason = None
+            if f"slt-page-{bin_index}" in self.stable:
+                self.stable.release(f"slt-page-{bin_index}")
+            return leftovers
 
     # -- well-known area (catalog address list duplicate, section 2.5) -------------------------
 
     def put_well_known(self, key: str, value: object) -> None:
-        self._well_known[key] = value
+        with self._mutex:
+            self._well_known[key] = value
 
     def get_well_known(self, key: str, default: object = None) -> object:
-        return self._well_known.get(key, default)
+        with self._mutex:
+            return self._well_known.get(key, default)

@@ -1,0 +1,212 @@
+"""Tests for the execution-engine layer (``repro.engine``)."""
+import threading
+
+import pytest
+
+from repro import Database, RecoveryMode, SystemConfig
+from repro.db.monitor import Monitor
+from repro.engine import (
+    ENGINE_ENV_VAR,
+    WORKERS_ENV_VAR,
+    ExecutionEngine,
+    SimEngine,
+    ThreadedEngine,
+    engine_from_env,
+)
+from repro.engine.threaded import _RecoveryThread
+
+
+def small_config(**overrides):
+    defaults = dict(
+        partition_size=8 * 1024, log_page_size=1024, update_count_threshold=50
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+def loaded_db(engine=None, rows=60):
+    db = Database(small_config(), engine=engine)
+    rel = db.create_relation("items", [("id", "int"), ("v", "int")], primary_key="id")
+    with db.transaction() as txn:
+        for i in range(rows):
+            rel.insert(txn, {"id": i, "v": i * 10})
+    return db
+
+
+class TestEngineSelection:
+    def test_default_is_sim(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        assert isinstance(engine_from_env(), SimEngine)
+        db = Database(small_config())
+        assert db.engine.name == "sim"
+        db.close()
+
+    def test_env_selects_threaded_with_workers(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "threaded")
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        engine = engine_from_env()
+        assert isinstance(engine, ThreadedEngine)
+        assert engine.workers == 3
+        engine.shutdown()
+
+    def test_env_rejects_unknown_engine(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "quantum")
+        with pytest.raises(ValueError, match="quantum"):
+            engine_from_env()
+
+    def test_explicit_engine_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "threaded")
+        db = Database(small_config(), engine=SimEngine())
+        assert db.engine.name == "sim"
+        db.close()
+
+    def test_threaded_engine_needs_a_worker(self):
+        with pytest.raises(ValueError):
+            ThreadedEngine(workers=0)
+
+    def test_engine_cannot_be_shared_between_databases(self):
+        engine = SimEngine()
+        db = Database(small_config(), engine=engine)
+        with pytest.raises(RuntimeError):
+            Database(small_config(), engine=engine)
+        db.close()
+
+    def test_stats_and_snapshot_name_the_engine(self):
+        db = loaded_db(engine=SimEngine())
+        assert db.stats()["engine"] == "sim"
+        assert Monitor(db).snapshot()["engine"] == "sim"
+        db.close()
+
+    def test_unattached_engine_refuses_duties(self):
+        engine = SimEngine()
+        with pytest.raises(RuntimeError):
+            engine.pump()
+
+
+class TestThreadedMatchesSim:
+    def test_metered_totals_identical(self):
+        """Duty order is preserved, so every metered figure matches the
+        cooperative engine bit for bit."""
+        snaps = {}
+        for engine in (SimEngine(), ThreadedEngine(workers=4)):
+            db = loaded_db(engine=engine)
+            db.pump()
+            snap = Monitor(db).snapshot()
+            snaps[engine.name] = snap
+            db.close()
+        sim, threaded = snaps["sim"], snaps["threaded"]
+        assert sim.pop("engine") == "sim"
+        assert threaded.pop("engine") == "threaded"
+        assert sim == threaded
+
+    def test_crash_restart_round_trip(self):
+        db = loaded_db(engine=ThreadedEngine(workers=4), rows=200)
+        db.crash()
+        db.restart()
+        with db.transaction() as txn:
+            assert db.table("items").lookup(txn, 150)["v"] == 1500
+        db.close()
+
+    def test_recovery_thread_runs_duties_off_caller_thread(self):
+        db = loaded_db(engine=ThreadedEngine(workers=2))
+        seen = []
+        db.engine._recovery.run_job(lambda: seen.append(threading.current_thread().name))
+        assert seen == ["repro-recovery-cpu"]
+        db.close()
+
+
+class TestParallelRestore:
+    def restore_all(self, workers):
+        db = loaded_db(engine=ThreadedEngine(workers=workers), rows=400)
+        db.crash()
+        db.restart(RecoveryMode.ON_DEMAND)
+        coordinator = db.restart_coordinator
+        addresses = coordinator.drain_queue()
+        assert len(addresses) > 1
+        restored = db.engine.restore_partitions(addresses)
+        assert restored == len(addresses)
+        assert coordinator.fully_recovered
+        with db.transaction() as txn:
+            for i in (0, 199, 399):
+                assert db.table("items").lookup(txn, i)["v"] == i * 10
+        db.close()
+
+    def test_pool_restores_everything(self):
+        self.restore_all(workers=4)
+
+    def test_single_worker_pool_restores_everything(self):
+        self.restore_all(workers=1)
+
+    def test_worker_failure_requeues_and_propagates(self):
+        db = loaded_db(engine=ThreadedEngine(workers=4), rows=400)
+        db.crash()
+        db.restart(RecoveryMode.ON_DEMAND)
+        coordinator = db.restart_coordinator
+        addresses = coordinator.drain_queue()
+        boom = addresses[len(addresses) // 2]
+        real = coordinator.recover_partition
+
+        def failing(address):
+            if address == boom:
+                raise RuntimeError("injected restore failure")
+            return real(address)
+
+        coordinator.recover_partition = failing
+        with pytest.raises(RuntimeError, match="injected restore failure"):
+            db.engine.restore_partitions(addresses)
+        coordinator.recover_partition = real
+        # The failed address (and anything unprocessed) went back on the
+        # queue; a second sweep finishes the job.
+        pending = coordinator.drain_queue()
+        assert boom in pending
+        db.engine.restore_partitions(pending)
+        assert coordinator.fully_recovered
+        db.close()
+
+    def test_duplicate_addresses_recovered_once(self):
+        db = loaded_db(engine=ThreadedEngine(workers=4), rows=400)
+        db.crash()
+        db.restart(RecoveryMode.ON_DEMAND)
+        coordinator = db.restart_coordinator
+        addresses = coordinator.drain_queue()
+        doubled = addresses + addresses
+        restored = db.engine.restore_partitions(doubled)
+        assert restored == len(addresses)
+        assert coordinator.fully_recovered
+        db.close()
+
+
+class TestRecoveryThreadFerry:
+    def test_exception_reraised_on_submitter(self):
+        thread = _RecoveryThread("test-ferry")
+        try:
+            with pytest.raises(KeyError, match="ferried"):
+                thread.run_job(lambda: (_ for _ in ()).throw(KeyError("ferried")))
+            # The thread survives a failed job.
+            assert thread.run_job(lambda: 7) == 7
+        finally:
+            thread.stop()
+
+    def test_stop_is_idempotent_and_restartable(self):
+        thread = _RecoveryThread("test-stop")
+        assert thread.run_job(lambda: 1) == 1
+        thread.stop()
+        thread.stop()
+        assert thread.run_job(lambda: 2) == 2
+        thread.stop()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_context_managed(self):
+        with Database(small_config(), engine=ThreadedEngine(workers=2)) as db:
+            db.pump()
+        db.close()
+        db.close()
+
+    def test_shutdown_stops_recovery_thread(self):
+        db = loaded_db(engine=ThreadedEngine(workers=2))
+        db.pump()
+        worker = db.engine._recovery._thread
+        assert worker is not None and worker.is_alive()
+        db.close()
+        assert not worker.is_alive()

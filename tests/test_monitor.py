@@ -98,6 +98,78 @@ class TestReport:
         assert "partitions        0 resident" in report
 
 
+class TestConsistentView:
+    """Snapshots stay well-formed mid-restart and under the threaded
+    engine's concurrent phase-2 installs."""
+
+    def expected_keys(self):
+        db = Database()
+        keys = set(Monitor(db).snapshot())
+        db.close()
+        return keys
+
+    def test_snapshot_keys_stable_mid_restart(self):
+        from repro import RecoveryMode
+
+        expected = self.expected_keys()
+        db, _ = loaded_db()
+        up = Monitor(db).snapshot()
+        db.crash()
+        crashed = Monitor(db).snapshot()
+        db.restart(RecoveryMode.ON_DEMAND)
+        coordinator = db.restart_coordinator
+        mid = []
+        for address in coordinator.drain_queue():
+            coordinator.recover_partition(address)
+            mid.append(Monitor(db).snapshot())
+        assert set(up) == set(crashed) == expected
+        assert all(set(snap) == expected for snap in mid)
+        # Residency only grows as partitions come back.
+        counts = [snap["residency"]["resident_partitions"] for snap in mid]
+        assert counts == sorted(counts)
+        assert Monitor(db).report()  # renders at full residency too
+
+    def test_snapshot_not_torn_by_parallel_restore(self):
+        import threading
+
+        from repro import RecoveryMode
+        from repro.engine import ThreadedEngine
+
+        expected = self.expected_keys()
+        db = Database(SystemConfig(log_page_size=1024, update_count_threshold=50),
+                      engine=ThreadedEngine(workers=4))
+        rel = db.create_relation(
+            "items", [("id", "int"), ("v", "int")], primary_key="id"
+        )
+        with db.transaction() as txn:
+            for i in range(400):
+                rel.insert(txn, {"id": i, "v": i})
+        db.crash()
+        db.restart(RecoveryMode.ON_DEMAND)
+        coordinator = db.restart_coordinator
+        addresses = coordinator.drain_queue()
+        total = len(addresses)
+        snaps = []
+
+        def observe():
+            while not coordinator.fully_recovered:
+                snaps.append(Monitor(db).snapshot())
+
+        watcher = threading.Thread(target=observe, name="monitor-watcher")
+        watcher.start()
+        db.engine.restore_partitions(addresses)
+        watcher.join(timeout=30.0)
+        assert not watcher.is_alive()
+        assert snaps, "watcher never sampled"
+        for snap in snaps:
+            assert set(snap) == expected
+            assert snap["engine"] == "threaded"
+            assert 0 <= snap["residency"]["resident_partitions"] <= total + 2
+            for info in snap["residency"]["objects"].values():
+                assert info["resident"] + info["missing"] == info["partitions"]
+        db.close()
+
+
 class TestLatchRule:
     @pytest.mark.no_lock_audit  # deliberately holds a latch across recovery
     def test_recovery_wait_rejected_while_latch_held(self):
