@@ -15,6 +15,7 @@ would have closed the cycle).
 from __future__ import annotations
 
 import enum
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Hashable
@@ -99,12 +100,22 @@ class _LockState:
 
 
 class LockManager:
-    """Strict two-phase locking over named resources."""
+    """Strict two-phase locking over named resources.
+
+    All public entry points serialise on one internal mutex: under the
+    concurrent scheduler several worker threads request, release, and
+    inspect locks simultaneously, and grant/wait decisions must observe a
+    consistent lock table.  The mutex is a leaf in the global order
+    (structure mutex → latch → stable lock): no lock, latch, or stable
+    access is ever taken while it is held — the audit-recorder hooks fire
+    inside it, but the recorder's own mutex is strictly interior.
+    """
 
     def __init__(self):
         self._locks: dict[Resource, _LockState] = {}
         self._held_by_txn: dict[int, set[Resource]] = {}
         self._waiting_on: dict[int, Resource] = {}
+        self._mutex = threading.RLock()
 
     # -- acquisition ---------------------------------------------------------
 
@@ -122,24 +133,25 @@ class LockManager:
 
         Raises :class:`DeadlockError` when waiting would create a cycle.
         """
-        state = self._locks.setdefault(resource, _LockState())
-        if self._can_grant(state, txn_id, mode):
-            self._grant(state, txn_id, resource, mode, blocking=wait)
-            return True
-        if not wait:
+        with self._mutex:
+            state = self._locks.setdefault(resource, _LockState())
+            if self._can_grant(state, txn_id, mode):
+                self._grant(state, txn_id, resource, mode, blocking=wait)
+                return True
+            if not wait:
+                return False
+            already_waiting_on = self._waiting_on.get(txn_id)
+            if already_waiting_on is not None:
+                if already_waiting_on == resource:
+                    return False  # request already queued; do not double-enqueue
+                raise ConcurrencyError(
+                    f"txn {txn_id} requested {resource!r} while already waiting "
+                    f"on {already_waiting_on!r}"
+                )
+            self._check_deadlock(txn_id, resource, state)
+            state.waiters.append((txn_id, mode))
+            self._waiting_on[txn_id] = resource
             return False
-        already_waiting_on = self._waiting_on.get(txn_id)
-        if already_waiting_on is not None:
-            if already_waiting_on == resource:
-                return False  # request already queued; do not double-enqueue
-            raise ConcurrencyError(
-                f"txn {txn_id} requested {resource!r} while already waiting "
-                f"on {already_waiting_on!r}"
-            )
-        self._check_deadlock(txn_id, resource, state)
-        state.waiters.append((txn_id, mode))
-        self._waiting_on[txn_id] = resource
-        return False
 
     def _can_grant(self, state: _LockState, txn_id: int, mode: LockMode) -> bool:
         held = state.holders.get(txn_id)
@@ -209,22 +221,24 @@ class LockManager:
         exists for checkpoint transactions, which release their relation
         read lock as soon as the partition copy is made (section 2.4).
         """
-        state = self._locks.get(resource)
-        if state is None or txn_id not in state.holders:
-            raise LockNotHeldError(f"txn {txn_id} does not hold {resource!r}")
-        del state.holders[txn_id]
-        self._held_by_txn[txn_id].discard(resource)
-        audit.lock_released(txn_id, resource)
-        self._wake_waiters(resource, state)
+        with self._mutex:
+            state = self._locks.get(resource)
+            if state is None or txn_id not in state.holders:
+                raise LockNotHeldError(f"txn {txn_id} does not hold {resource!r}")
+            del state.holders[txn_id]
+            self._held_by_txn[txn_id].discard(resource)
+            audit.lock_released(txn_id, resource)
+            self._wake_waiters(resource, state)
 
     def release_all(self, txn_id: int) -> None:
         """Release every lock of a committing or aborting transaction."""
-        self._cancel_wait(txn_id)
-        audit.locks_dropped(txn_id)
-        for resource in self._held_by_txn.pop(txn_id, set()):
-            state = self._locks[resource]
-            state.holders.pop(txn_id, None)
-            self._wake_waiters(resource, state)
+        with self._mutex:
+            self._cancel_wait(txn_id)
+            audit.locks_dropped(txn_id)
+            for resource in self._held_by_txn.pop(txn_id, set()):
+                state = self._locks[resource]
+                state.holders.pop(txn_id, None)
+                self._wake_waiters(resource, state)
 
     def _cancel_wait(self, txn_id: int) -> None:
         resource = self._waiting_on.pop(txn_id, None)
@@ -252,24 +266,28 @@ class LockManager:
     # -- inspection ----------------------------------------------------------------
 
     def holds(self, txn_id: int, resource: Resource, mode: LockMode | None = None) -> bool:
-        state = self._locks.get(resource)
-        if state is None:
-            return False
-        held = state.holders.get(txn_id)
-        if held is None:
-            return False
-        return mode is None or _covers(held, mode)
+        with self._mutex:
+            state = self._locks.get(resource)
+            if state is None:
+                return False
+            held = state.holders.get(txn_id)
+            if held is None:
+                return False
+            return mode is None or _covers(held, mode)
 
     def is_waiting(self, txn_id: int) -> bool:
-        return txn_id in self._waiting_on
+        with self._mutex:
+            return txn_id in self._waiting_on
 
     def locks_held(self, txn_id: int) -> set[Resource]:
-        return set(self._held_by_txn.get(txn_id, set()))
+        with self._mutex:
+            return set(self._held_by_txn.get(txn_id, set()))
 
     def crash(self) -> None:
         """Lose all lock state (lock tables are volatile)."""
-        for txn_id in list(self._held_by_txn):
-            audit.locks_dropped(txn_id)
-        self._locks.clear()
-        self._held_by_txn.clear()
-        self._waiting_on.clear()
+        with self._mutex:
+            for txn_id in list(self._held_by_txn):
+                audit.locks_dropped(txn_id)
+            self._locks.clear()
+            self._held_by_txn.clear()
+            self._waiting_on.clear()

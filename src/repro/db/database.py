@@ -112,6 +112,10 @@ class Database:
         #: Optional hook invoked as ``observer(txn)`` the instant a
         #: transaction becomes durable (used by the recovery oracle).
         self.commit_observer = None
+        #: The most recent :class:`~repro.txn.concurrent.ConcurrentScheduler`
+        #: attached via :meth:`register_scheduler`; surfaces its counters in
+        #: :meth:`stats` and ``Monitor.snapshot()``.
+        self.scheduler = None
 
     # -- construction ------------------------------------------------------------
 
@@ -142,6 +146,12 @@ class Database:
         self.catalog = Catalog(self.memory)
         self._relations: dict[str, Relation] = {}
         self._index_objects: dict[str, TTreeIndex | LinearHashIndex] = {}
+        #: Guards the two handle caches above: concurrent-scheduler workers
+        #: resolve tables and index objects simultaneously, and a torn
+        #: check-then-insert would hand two threads distinct index objects
+        #: over the same segment.  Leaf lock; handle construction that may
+        #: recover segments runs outside it.
+        self._handles_mutex = threading.RLock()
 
     def _build_recovery_component(self) -> None:
         config = self.config
@@ -350,15 +360,18 @@ class Database:
 
     def table(self, name: str) -> Relation:
         self.catalog.relation(name)  # raise early if unknown
-        if name not in self._relations:
-            self._relations[name] = Relation(self, name)
-        return self._relations[name]
+        with self._handles_mutex:
+            if name not in self._relations:
+                self._relations[name] = Relation(self, name)
+            return self._relations[name]
 
     def index_object(
         self, descriptor: IndexDescriptor, txn: Transaction | None
     ) -> TTreeIndex | LinearHashIndex:
         """The live index structure for a descriptor, bound to ``txn``'s
-        change sink for this call."""
+        change sink for this call (the binding is thread-local, so
+        concurrent workers sharing one cached index object each log and
+        lock through their own transaction)."""
         index = self._index_objects.get(descriptor.name)
         if index is None:
             self.ensure_segment_resident(descriptor.segment_id)
@@ -367,10 +380,13 @@ class Database:
             if descriptor.anchor is None:
                 raise CatalogError(f"index {descriptor.name!r} has no anchor")
             if descriptor.kind == "ttree":
-                index = TTreeIndex(store, anchor=descriptor.anchor)
+                built: TTreeIndex | LinearHashIndex = TTreeIndex(
+                    store, anchor=descriptor.anchor
+                )
             else:
-                index = LinearHashIndex(store, anchor=descriptor.anchor)
-            self._index_objects[descriptor.name] = index
+                built = LinearHashIndex(store, anchor=descriptor.anchor)
+            with self._handles_mutex:
+                index = self._index_objects.setdefault(descriptor.name, built)
         index.store.sink = txn
         return index
 
@@ -444,9 +460,20 @@ class Database:
 
     # -- statistics -----------------------------------------------------------------------------------------
 
+    def register_scheduler(self, scheduler) -> None:
+        """Attach a concurrent scheduler for observability.
+
+        Called by :class:`~repro.txn.concurrent.ConcurrentScheduler` on
+        construction; :meth:`stats` and ``Monitor.snapshot()`` report the
+        registered scheduler's committed/conflict/retry counters.
+        """
+        self.scheduler = scheduler
+
     def stats(self) -> dict:
         """A status snapshot used by examples and benchmarks."""
+        scheduler_stats = self.scheduler.stats() if self.scheduler is not None else None
         return {
+            "scheduler": scheduler_stats,
             "engine": self.engine.name,
             "clock_seconds": self.clock.now,
             "transactions_committed": self.transactions.committed,

@@ -42,6 +42,9 @@ class Monitor:
         db = self.db
         return {
             "engine": db.engine.name,
+            "scheduler": (
+                db.scheduler.stats() if db.scheduler is not None else None
+            ),
             "clock": {"seconds": db.clock.now},
             "transactions": {
                 "committed": db.transactions.committed,

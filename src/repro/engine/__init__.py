@@ -36,6 +36,10 @@ __all__ = [
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 #: Environment variable sizing the threaded engine's restore pool.
 WORKERS_ENV_VAR = "REPRO_ENGINE_WORKERS"
+#: Environment variable opting the threaded engine into the relaxed
+#: (batched, one-mailbox-round-trip) pump.  Off by default so duty
+#: observation stays SimEngine-identical.
+RELAXED_ENV_VAR = "REPRO_ENGINE_RELAXED"
 
 
 def engine_from_env() -> ExecutionEngine:
@@ -45,7 +49,13 @@ def engine_from_env() -> ExecutionEngine:
         return SimEngine()
     if kind == "threaded":
         workers = int(os.environ.get(WORKERS_ENV_VAR, "4"))
-        return ThreadedEngine(workers=workers)
+        relaxed = os.environ.get(RELAXED_ENV_VAR, "").strip().lower() in (
+            "1",
+            "true",
+            "yes",
+            "on",
+        )
+        return ThreadedEngine(workers=workers, relaxed_pump=relaxed)
     raise ValueError(
         f"unknown {ENGINE_ENV_VAR} value {kind!r}; expected 'sim' or 'threaded'"
     )

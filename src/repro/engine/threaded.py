@@ -116,11 +116,21 @@ class ThreadedEngine(ExecutionEngine):
 
     name = "threaded"
 
-    def __init__(self, workers: int = 4):
+    def __init__(self, workers: int = 4, relaxed_pump: bool = False):
         super().__init__()
         if workers < 1:
             raise ValueError("the threaded engine needs at least one worker")
         self.workers = workers
+        #: With relaxed determinism, :meth:`pump` makes ONE mailbox round
+        #: trip instead of four: the full duty sequence (sort → ack →
+        #: checkpoint → ack → background restore) runs as a single job on
+        #: the recovery thread, in the same order but without the
+        #: per-duty submit/observe barrier on the caller.  Duty *order*
+        #: still matches SimEngine; what is relaxed is only when the
+        #: caller observes intermediate state, so metered totals of a
+        #: quiet pump stay identical while the mailbox hot path drops to
+        #: a quarter of the round trips.
+        self.relaxed_pump = relaxed_pump
         self._recovery = _RecoveryThread("repro-recovery-cpu")
         # The databases under test are created by the hundred; tie the
         # thread's lifetime to the engine object so abandoned instances
@@ -135,6 +145,21 @@ class ThreadedEngine(ExecutionEngine):
 
     def pump(self) -> None:
         db = self._require_db()
+        if self.relaxed_pump:
+            # One mailbox round trip: the whole duty sequence runs as a
+            # single job, in the same order.  Checkpoint transactions are
+            # no-wait (conflicts defer the request), so hosting them on
+            # the recovery thread cannot block the mailbox on a user
+            # transaction's locks.
+            def batched() -> None:
+                db.recovery_service.drain()
+                db.checkpoint_service.acknowledge()
+                db.checkpoint_service.process_pending()
+                db.checkpoint_service.acknowledge()
+                db.recovery_service.background_step()
+
+            self._recovery.run_job(batched)
+            return
         # Same duty order as SimEngine; the recovery CPU's share runs on
         # the recovery thread, the checkpoint transactions (main-CPU work
         # in the paper) stay on the calling thread.

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import functools
 import struct
-from typing import Iterator
+import threading
+from typing import Any, Callable, Iterator, TypeVar
 
 from repro.common.errors import IndexStructureError
 from repro.common.types import EntityAddress
@@ -39,6 +41,43 @@ def unpack_item(buf: bytes, pos: int) -> tuple[Key, EntityAddress, int]:
     return key, value, pos
 
 
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+def serialised(method: _F) -> _F:
+    """Run an index operation under the index's structure mutex.
+
+    Entity-level 2PL locks serialise access to any one *component*, but a
+    multi-node structural change (a T-Tree rotation, a linear-hash split)
+    passes through intermediate states that a concurrent reader or writer
+    on another worker thread must never observe.  The mutex is re-entrant
+    (splits call back into the locked paths) and sits *above* the storage
+    leaf mutexes and the no-wait entity locks the sink acquires: a
+    conflict abort raised mid-operation unwinds through the ``with`` and
+    releases it.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self: "Index", *args: Any, **kwargs: Any) -> Any:
+        with self._structure_mutex:
+            return method(self, *args, **kwargs)
+
+    return wrapper  # type: ignore[return-value]
+
+
+def serialised_scan(method: Callable[..., Iterator[Any]]) -> Callable[..., Iterator[Any]]:
+    """Like :func:`serialised` for generator methods: the scan is
+    materialised under the mutex so iteration never interleaves with a
+    structural change on another thread."""
+
+    @functools.wraps(method)
+    def wrapper(self: "Index", *args: Any, **kwargs: Any) -> Iterator[Any]:
+        with self._structure_mutex:
+            return iter(list(method(self, *args, **kwargs)))
+
+    return wrapper
+
+
 class Index:
     """Interface shared by the T-Tree and the linear hash index.
 
@@ -48,6 +87,11 @@ class Index:
 
     #: Set by subclasses: True when the index supports range scans.
     ORDERED: bool = False
+
+    def __init__(self) -> None:
+        #: See :func:`serialised` — whole-structure mutex for operations
+        #: whose intermediate states must stay invisible across threads.
+        self._structure_mutex = threading.RLock()
 
     def insert(self, key: Key, value: EntityAddress) -> None:
         raise NotImplementedError

@@ -32,6 +32,8 @@ from repro.index.base import (
     Index,
     pack_address,
     pack_item,
+    serialised,
+    serialised_scan,
     unpack_address,
     unpack_item,
 )
@@ -114,6 +116,7 @@ class LinearHashIndex(Index):
             raise IndexStructureError("need at least one initial bucket")
         if bucket_capacity < 1:
             raise IndexStructureError("bucket_capacity must be positive")
+        super().__init__()
         self.store = store
         self.bucket_capacity = bucket_capacity
         self.split_load = split_load
@@ -243,6 +246,7 @@ class LinearHashIndex(Index):
     def __len__(self) -> int:
         return self._count
 
+    @serialised
     def search(self, key: Key) -> list[EntityAddress]:
         address = self._directory[self._bucket_number(key)]
         results = []
@@ -252,6 +256,7 @@ class LinearHashIndex(Index):
             address = bucket.overflow
         return results
 
+    @serialised
     def insert(self, key: Key, value: EntityAddress) -> None:
         head_address = self._directory[self._bucket_number(key)]
         bucket = self._load(head_address)
@@ -270,6 +275,7 @@ class LinearHashIndex(Index):
         if self._load_factor() > self.split_load:
             self._split_next()
 
+    @serialised
     def delete(self, key: Key, value: EntityAddress) -> None:
         number = self._bucket_number(key)
         address = self._directory[number]
@@ -291,6 +297,7 @@ class LinearHashIndex(Index):
             address = bucket.overflow
         raise self._not_found(key, value)
 
+    @serialised_scan
     def items(self) -> Iterator[tuple[Key, EntityAddress]]:
         for head in self._directory:
             address = head
@@ -353,6 +360,7 @@ class LinearHashIndex(Index):
 
     # -- invariants ---------------------------------------------------------------------------------
 
+    @serialised
     def verify_invariants(self) -> None:
         """Every item must be reachable at its own bucket number, counts
         must agree, and chains must respect capacity."""

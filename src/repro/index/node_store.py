@@ -14,6 +14,7 @@ partition and the Stable Log Tail must get its bin.
 
 from __future__ import annotations
 
+import threading
 from typing import Protocol
 
 from repro.common.errors import PartitionFullError
@@ -49,6 +50,13 @@ class NodeStore:
     *growth* of existing components (hash anchors grow with the bucket
     directory; T-Tree nodes grow toward ``max_items``) — the classic
     PCTFREE idea.
+
+    The :attr:`sink` binding is **thread-local**: the database rebinds a
+    cached index object's sink to the calling transaction before every
+    index operation, and under the concurrent scheduler two workers do
+    that simultaneously on the same store.  Assigning ``store.sink = txn``
+    only affects the assigning thread; threads that never assigned see the
+    constructor-time default (``None`` or the bulk-load transaction).
     """
 
     def __init__(
@@ -60,8 +68,18 @@ class NodeStore:
         if not 0.0 <= growth_reserve < 1.0:
             raise ValueError("growth_reserve must be in [0, 1)")
         self.segment = segment
-        self.sink = sink
+        self._default_sink = sink
+        self._sink_override = threading.local()
         self.growth_reserve = growth_reserve
+
+    @property
+    def sink(self) -> ChangeSink | None:
+        """The calling thread's sink override, else the default."""
+        return getattr(self._sink_override, "value", self._default_sink)
+
+    @sink.setter
+    def sink(self, value: ChangeSink | None) -> None:
+        self._sink_override.value = value
 
     def with_sink(self, sink: ChangeSink | None) -> "NodeStore":
         """A view of the same segment reporting to a different sink."""

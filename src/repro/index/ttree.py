@@ -29,6 +29,8 @@ from repro.index.base import (
     Index,
     pack_address,
     pack_item,
+    serialised,
+    serialised_scan,
     unpack_address,
     unpack_item,
 )
@@ -156,6 +158,7 @@ class TTreeIndex(Index):
     ):
         if not 1 <= min_items <= max_items:
             raise IndexStructureError("need 1 <= min_items <= max_items")
+        super().__init__()
         self.store = store
         self.min_items = min_items
         self.max_items = max_items
@@ -208,6 +211,7 @@ class TTreeIndex(Index):
     def __len__(self) -> int:
         return self._count
 
+    @serialised
     def search(self, key: Key) -> list[EntityAddress]:
         return self._collect(self._root, key)
 
@@ -235,6 +239,7 @@ class TTreeIndex(Index):
             results.extend(self._collect(node.right, key))
         return results
 
+    @serialised
     def insert(self, key: Key, value: EntityAddress) -> None:
         item = (key, value)
         if self._root == NULL_ADDRESS:
@@ -267,6 +272,7 @@ class TTreeIndex(Index):
             self._rebalance_path(path)
         self._count += 1
 
+    @serialised
     def delete(self, key: Key, value: EntityAddress) -> None:
         item = (key, value)
         path: list[_TNode] = []
@@ -289,6 +295,7 @@ class TTreeIndex(Index):
         self._count -= 1
         self._fix_after_delete(path)
 
+    @serialised_scan
     def items(self) -> Iterator[tuple[Key, EntityAddress]]:
         yield from self._in_order(self._root)
 
@@ -300,6 +307,7 @@ class TTreeIndex(Index):
         yield from node.items
         yield from self._in_order(node.right)
 
+    @serialised_scan
     def range_scan(
         self, low: Key | None = None, high: Key | None = None
     ) -> Iterator[tuple[Key, EntityAddress]]:
@@ -517,6 +525,7 @@ class TTreeIndex(Index):
 
     # -- invariants -------------------------------------------------------------------------------
 
+    @serialised
     def verify_invariants(self) -> None:
         """Check BST ordering, AVL balance, stored heights and item sorting."""
         all_items = list(self.items())

@@ -31,6 +31,18 @@ def host_pause(seconds: float) -> None:
         _host_time.sleep(seconds)
 
 
+def host_now() -> float:
+    """Monotonic *host* seconds (``time.perf_counter``).
+
+    The concurrent transaction scheduler uses this for retry-backoff
+    deadlines and per-worker utilisation accounting — quantities that are
+    about the host threads themselves, not the simulated machine.  Like
+    :func:`host_pause` this lives here because RC03 sanctions wall-clock
+    imports only in this module.
+    """
+    return _host_time.perf_counter()
+
+
 class VirtualClock:
     """A monotonically advancing simulated clock, in seconds.
 

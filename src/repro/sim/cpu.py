@@ -18,7 +18,7 @@ import threading
 from collections import Counter
 
 from repro.common.config import AnalysisParameters
-from repro.sim.clock import VirtualClock
+from repro.sim.clock import VirtualClock, host_pause
 
 
 class CpuMeter:
@@ -46,6 +46,13 @@ class CpuMeter:
         self._by_category: Counter[str] = Counter()
         self._total_instructions = 0.0
         self._lock = threading.Lock()
+        #: Host seconds slept per simulated second charged (0.0 = purely
+        #: simulated).  Mirrors ``SimulatedDisk.realtime_scale``: with a
+        #: positive scale, concurrent transaction workers pay their
+        #: instruction costs in overlapped *host* time, which is what
+        #: ``bench_txn_throughput`` measures.  The sleep happens outside
+        #: ``_lock`` so meter readers never block on it.
+        self.realtime_scale = 0.0
 
     # -- charging -----------------------------------------------------------
 
@@ -63,6 +70,7 @@ class CpuMeter:
             self._total_instructions += instructions
         seconds = instructions / (self.mips * 1_000_000.0)
         self.clock.advance(seconds)
+        host_pause(seconds * self.realtime_scale)
         return seconds
 
     def charge_stable_bytes(self, nbytes: int, category: str = "stable-copy") -> float:

@@ -15,6 +15,7 @@ the property partition-level REDO recovery relies on.
 from __future__ import annotations
 
 import struct
+import threading
 from typing import Iterator
 
 from repro.common.errors import PartitionFullError, StorageError
@@ -36,13 +37,19 @@ class StringHeap:
         self._strings: dict[int, bytes] = {}
         self._next_handle = 1
         self._used = 0
+        # Handle allocation and used-bytes bookkeeping race under the
+        # concurrent scheduler (the heap is shared by every tuple in the
+        # partition, not covered by entity locks); leaf mutex, nothing is
+        # acquired while it is held.
+        self._mutex = threading.RLock()
 
     # -- operations ---------------------------------------------------------
 
     def put(self, data: bytes) -> int:
         """Store ``data`` and return its handle."""
-        handle = self._next_handle
-        self.put_at(handle, data)
+        with self._mutex:
+            handle = self._next_handle
+            self.put_at(handle, data)
         return handle
 
     def put_at(self, handle: int, data: bytes) -> None:
@@ -53,17 +60,18 @@ class StringHeap:
         log so recovered state is identical even when aborted transactions
         consumed intervening handles.
         """
-        if handle in self._strings:
-            raise StorageError(f"string heap handle {handle} is occupied")
-        charge = len(data) + STRING_HEADER_BYTES
-        if self._used + charge > self.capacity_bytes:
-            raise PartitionFullError(
-                f"string heap full: {self._used} + {charge} > {self.capacity_bytes}"
-            )
-        self._strings[handle] = bytes(data)
-        self._used += charge
-        if handle >= self._next_handle:
-            self._next_handle = handle + 1
+        with self._mutex:
+            if handle in self._strings:
+                raise StorageError(f"string heap handle {handle} is occupied")
+            charge = len(data) + STRING_HEADER_BYTES
+            if self._used + charge > self.capacity_bytes:
+                raise PartitionFullError(
+                    f"string heap full: {self._used} + {charge} > {self.capacity_bytes}"
+                )
+            self._strings[handle] = bytes(data)
+            self._used += charge
+            if handle >= self._next_handle:
+                self._next_handle = handle + 1
 
     def get(self, handle: int) -> bytes:
         try:
@@ -72,18 +80,20 @@ class StringHeap:
             raise StorageError(f"string heap has no handle {handle}") from None
 
     def delete(self, handle: int) -> None:
-        data = self.get(handle)
-        del self._strings[handle]
-        self._used -= len(data) + STRING_HEADER_BYTES
+        with self._mutex:
+            data = self.get(handle)
+            del self._strings[handle]
+            self._used -= len(data) + STRING_HEADER_BYTES
 
     def replace(self, handle: int, data: bytes) -> None:
         """Overwrite the string stored at ``handle`` in place."""
-        old = self.get(handle)
-        charge_delta = len(data) - len(old)
-        if self._used + charge_delta > self.capacity_bytes:
-            raise PartitionFullError("string heap full on replace")
-        self._strings[handle] = bytes(data)
-        self._used += charge_delta
+        with self._mutex:
+            old = self.get(handle)
+            charge_delta = len(data) - len(old)
+            if self._used + charge_delta > self.capacity_bytes:
+                raise PartitionFullError("string heap full on replace")
+            self._strings[handle] = bytes(data)
+            self._used += charge_delta
 
     # -- inspection -----------------------------------------------------------
 

@@ -20,6 +20,7 @@ partition's log pages.
 from __future__ import annotations
 
 import struct
+import threading
 from typing import Iterator
 
 from repro.common.errors import PartitionFullError, StorageError
@@ -59,6 +60,12 @@ class Partition:
         self._entities: dict[int, bytes] = {}
         self._next_offset = 1
         self._used = 0
+        #: Guards offset allocation and the used-bytes bookkeeping.  The
+        #: 2PL entity/relation locks serialise access to any *one* entity,
+        #: but concurrent transactions inserting *different* entities race
+        #: on ``_next_offset``/``_used`` — this mutex is a leaf (nothing is
+        #: acquired while it is held) below the logical locks.
+        self._mutex = threading.RLock()
         #: Index into the Stable Log Tail's partition bin table; maintained
         #: here because the paper keeps the bin index in the partition's
         #: control information (section 2.3.2).
@@ -71,10 +78,12 @@ class Partition:
 
         Lock discipline: the caller holds an X lock on the new entity's
         address and an IX lock on the owning relation (section 2.3.2);
-        storage itself is lock-free.
+        offset allocation itself is serialised on the partition's internal
+        mutex so concurrent inserts never receive the same offset.
         """
-        offset = self._next_offset
-        self.insert_at(offset, data)
+        with self._mutex:
+            offset = self._next_offset
+            self.insert_at(offset, data)
         return offset
 
     def insert_at(self, offset: int, data: bytes) -> None:
@@ -83,22 +92,24 @@ class Partition:
         Normal inserts go through :meth:`insert`; recovery re-applies the
         offset recorded in the log so replayed state is byte-identical.
 
-        Lock discipline: same as :meth:`insert` on the normal path; the
-        replay path runs before the partition is published, so no lock is
-        required there.
+        Lock discipline: same as :meth:`insert` on the normal path —
+        bookkeeping updates run under the partition's internal mutex; the
+        replay path runs before the partition is published, so the mutex
+        is uncontended there.
         """
-        if offset in self._entities:
-            raise StorageError(f"{self.address} offset {offset} is occupied")
-        charge = len(data) + ENTITY_HEADER_BYTES
-        if self._used + charge > self.entity_capacity:
-            raise PartitionFullError(
-                f"{self.address} full: {self._used} + {charge} "
-                f"> {self.entity_capacity}"
-            )
-        self._entities[offset] = bytes(data)
-        self._used += charge
-        if offset >= self._next_offset:
-            self._next_offset = offset + 1
+        with self._mutex:
+            if offset in self._entities:
+                raise StorageError(f"{self.address} offset {offset} is occupied")
+            charge = len(data) + ENTITY_HEADER_BYTES
+            if self._used + charge > self.entity_capacity:
+                raise PartitionFullError(
+                    f"{self.address} full: {self._used} + {charge} "
+                    f"> {self.entity_capacity}"
+                )
+            self._entities[offset] = bytes(data)
+            self._used += charge
+            if offset >= self._next_offset:
+                self._next_offset = offset + 1
 
     def read(self, offset: int) -> bytes:
         try:
@@ -117,21 +128,25 @@ class Partition:
         bounded by the largest single component's growth.
 
         Lock discipline: the caller holds an X lock on the entity's
-        address, two-phase until commit (section 2.3.2).
+        address, two-phase until commit (section 2.3.2); the used-bytes
+        bookkeeping is serialised on the partition's internal mutex.
         """
-        old = self.read(offset)
-        self._entities[offset] = bytes(data)
-        self._used += len(data) - len(old)
+        with self._mutex:
+            old = self.read(offset)
+            self._entities[offset] = bytes(data)
+            self._used += len(data) - len(old)
 
     def delete(self, offset: int) -> None:
         """Remove the entity at ``offset``.
 
         Lock discipline: the caller holds an X lock on the entity's
-        address, two-phase until commit (section 2.3.2).
+        address, two-phase until commit (section 2.3.2); the used-bytes
+        bookkeeping is serialised on the partition's internal mutex.
         """
-        data = self.read(offset)
-        del self._entities[offset]
-        self._used -= len(data) + ENTITY_HEADER_BYTES
+        with self._mutex:
+            data = self.read(offset)
+            del self._entities[offset]
+            self._used -= len(data) + ENTITY_HEADER_BYTES
 
     # -- inspection ----------------------------------------------------------------
 
@@ -169,7 +184,17 @@ class Partition:
     # -- serialisation (checkpoint images) -------------------------------------------
 
     def to_bytes(self) -> bytes:
-        """Serialise the partition into a checkpoint image."""
+        """Serialise the partition into a checkpoint image.
+
+        Lock discipline: the checkpoint transaction's relation S lock
+        excludes writers (they hold IX); the internal mutex is still taken
+        so the snapshot of the entity map and counters is coherent even
+        against non-2PL callers.
+        """
+        with self._mutex:
+            return self._to_bytes_locked()
+
+    def _to_bytes_locked(self) -> bytes:
         heap_blob = self.heap.to_bytes()
         parts = [
             _IMAGE_HEADER.pack(
@@ -223,6 +248,7 @@ class Partition:
         instance.capacity_bytes = entity_capacity + heap_capacity
         instance._entities = {}
         instance.bin_index = None
+        instance._mutex = threading.RLock()
         pos = _IMAGE_HEADER.size
         for _ in range(count):
             offset, length = _ENTRY_HEADER.unpack_from(blob, pos)

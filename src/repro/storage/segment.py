@@ -13,6 +13,7 @@ manager can schedule recovery transactions (section 2.5).
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 from repro.common.errors import NotResidentError, StorageError
@@ -41,6 +42,12 @@ class Segment:
         #: Partition numbers that exist in the catalog but are not resident;
         #: populated after a crash, drained as recovery proceeds.
         self._missing: set[int] = set()
+        #: Guards partition-number allocation and the resident/missing
+        #: maps.  Concurrent transactions growing the same relation (and
+        #: parallel phase-2 installs) would otherwise race the monotone
+        #: ``_next_partition`` counter.  Leaf mutex below the 2PL locks;
+        #: the Partition constructor runs inside it but takes no locks.
+        self._mutex = threading.RLock()
 
     # -- allocation -------------------------------------------------------------
 
@@ -56,24 +63,29 @@ class Segment:
 
         Lock discipline: the caller holds an IX (or stronger) lock on the
         owning relation; concurrent checkpointers are excluded by their
-        relation read lock (section 2.4, step 3).
+        relation read lock (section 2.4, step 3).  Number allocation and
+        installation are atomic under the segment's internal mutex —
+        IX locks do not exclude other IX holders allocating concurrently.
         """
-        number = self._next_partition
-        self._next_partition += 1
-        partition = Partition(
-            PartitionAddress(self.segment_id, number),
-            self.partition_size,
-            self.heap_fraction,
-        )
-        self._partitions[number] = partition
-        return partition
+        with self._mutex:
+            number = self._next_partition
+            self._next_partition += 1
+            partition = Partition(
+                PartitionAddress(self.segment_id, number),
+                self.partition_size,
+                self.heap_fraction,
+            )
+            self._partitions[number] = partition
+            return partition
 
     def install(self, partition: Partition) -> None:
         """Install a recovered partition (post-crash path).
 
-        Lock discipline: none — recovery transactions own the partition
+        Lock discipline: recovery transactions own the partition
         exclusively until it is installed here, and normal transactions
-        cannot see it before installation (section 2.5).
+        cannot see it before installation (section 2.5); the map update
+        runs under the segment's internal mutex so parallel phase-2
+        installs into one segment do not tear the residency maps.
         """
         if partition.address.segment != self.segment_id:
             raise StorageError(
@@ -81,30 +93,35 @@ class Segment:
                 f"{self.segment_id}"
             )
         number = partition.address.partition
-        self._partitions[number] = partition
-        self._missing.discard(number)
-        if number >= self._next_partition:
-            self._next_partition = number + 1
+        with self._mutex:
+            self._partitions[number] = partition
+            self._missing.discard(number)
+            if number >= self._next_partition:
+                self._next_partition = number + 1
 
     def mark_missing(self, numbers: list[int]) -> None:
         """Record partitions known to the catalog but not yet recovered.
 
-        Lock discipline: none — runs during restart phase 1, before any
-        user transaction (or lock manager) exists.
+        Lock discipline: runs during restart phase 1, before any user
+        transaction (or lock manager) exists; takes the internal mutex
+        anyway so the maps are never updated unguarded.
         """
-        self._missing.update(numbers)
-        for number in numbers:
-            if number >= self._next_partition:
-                self._next_partition = number + 1
+        with self._mutex:
+            self._missing.update(numbers)
+            for number in numbers:
+                if number >= self._next_partition:
+                    self._next_partition = number + 1
 
     def evict_all(self) -> None:
         """Drop every resident partition (crash simulation).
 
-        Lock discipline: none — models the loss of main memory itself;
-        the lock tables vanish in the same instant (they are volatile).
+        Lock discipline: models the loss of main memory itself; the lock
+        tables vanish in the same instant (they are volatile).  Taken
+        under the internal mutex so a crash never tears the maps.
         """
-        self._missing.update(self._partitions)
-        self._partitions.clear()
+        with self._mutex:
+            self._missing.update(self._partitions)
+            self._partitions.clear()
 
     # -- access -----------------------------------------------------------------
 

@@ -9,8 +9,10 @@ discards the REDO chain.
 from repro.txn.transaction import Transaction, TxnState
 from repro.txn.manager import TransactionManager
 from repro.txn.scheduler import InterleavedScheduler, ScriptResult
+from repro.txn.concurrent import ConcurrentScheduler
 
 __all__ = [
+    "ConcurrentScheduler",
     "InterleavedScheduler",
     "ScriptResult",
     "Transaction",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import TYPE_CHECKING, Iterator
 
 from repro.common.errors import TransactionStateError
@@ -14,7 +15,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class TransactionManager:
-    """Creates transactions and tracks the active set."""
+    """Creates transactions and tracks the active set.
+
+    Id assignment, active-set registration, and the committed/aborted
+    counters serialise on one internal mutex so concurrent-scheduler
+    workers can begin and finish transactions from any thread.  The
+    :class:`Transaction` constructor (which opens an SLB chain under the
+    SLB's own mutex) runs *outside* the manager mutex — the manager lock
+    is a leaf and never nests around stable-structure locks.
+    """
 
     def __init__(self, db: "Database"):
         self.db = db
@@ -22,27 +31,34 @@ class TransactionManager:
         self._active: dict[int, Transaction] = {}
         self.committed = 0
         self.aborted = 0
+        self._mutex = threading.RLock()
 
     def begin(self, *, system: bool = False, user_data: str = "") -> Transaction:
-        txn = Transaction(self.db, self._next_id, system=system, user_data=user_data)
-        self._next_id += 1
-        self._active[txn.txn_id] = txn
+        with self._mutex:
+            txn_id = self._next_id
+            self._next_id += 1
+        txn = Transaction(self.db, txn_id, system=system, user_data=user_data)
+        with self._mutex:
+            self._active[txn.txn_id] = txn
         return txn
 
     def finished(self, txn: Transaction) -> None:
         """Called by the transaction on commit/abort."""
-        self._active.pop(txn.txn_id, None)
-        if txn.state is TxnState.COMMITTED:
-            self.committed += 1
-        elif txn.state is TxnState.ABORTED:
-            self.aborted += 1
+        with self._mutex:
+            self._active.pop(txn.txn_id, None)
+            if txn.state is TxnState.COMMITTED:
+                self.committed += 1
+            elif txn.state is TxnState.ABORTED:
+                self.aborted += 1
 
     @property
     def active_count(self) -> int:
-        return len(self._active)
+        with self._mutex:
+            return len(self._active)
 
     def active_transactions(self) -> list[Transaction]:
-        return [self._active[txn_id] for txn_id in sorted(self._active)]
+        with self._mutex:
+            return [self._active[txn_id] for txn_id in sorted(self._active)]
 
     @contextlib.contextmanager
     def scope(self) -> Iterator[Transaction]:
@@ -70,4 +86,5 @@ class TransactionManager:
     def crash(self) -> None:
         """Active transactions simply vanish with main memory; their SLB
         chains are discarded by the restart policy."""
-        self._active.clear()
+        with self._mutex:
+            self._active.clear()

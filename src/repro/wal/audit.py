@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import struct
+import threading
 from dataclasses import dataclass
 
 from repro.common.errors import LogError
@@ -69,6 +70,12 @@ class AuditLog:
 
     The buffer lives in stable memory, so committed audit entries survive
     a crash even before they reach the disk.
+
+    Appends and flushes serialise on one internal mutex: concurrent
+    scheduler workers record begin/commit/abort entries from any thread,
+    and the buffer-append + byte-count + page-flush step must be atomic.
+    Lock order: audit mutex → log-disk mutex (flush appends a page while
+    holding it); nothing else nests inside.
     """
 
     STABLE_KEY = "audit-buffer"
@@ -80,6 +87,7 @@ class AuditLog:
         self.page_size = page_size
         self.entries_written = 0
         self.pages_flushed = 0
+        self._mutex = threading.RLock()
         if self.STABLE_KEY in stable:
             self._buffer: list[AuditEntry] = stable.load(self.STABLE_KEY)
         else:
@@ -102,11 +110,12 @@ class AuditLog:
     ) -> AuditEntry:
         """Append one entry; flushes a page when the buffer fills."""
         entry = AuditEntry(txn_id, event, timestamp, user_data)
-        self._buffer.append(entry)
-        self._buffer_bytes += entry.size_bytes
-        self.entries_written += 1
-        if self._buffer_bytes >= self.page_size:
-            self.flush()
+        with self._mutex:
+            self._buffer.append(entry)
+            self._buffer_bytes += entry.size_bytes
+            self.entries_written += 1
+            if self._buffer_bytes >= self.page_size:
+                self.flush()
         return entry
 
     def flush(self) -> int | None:
@@ -114,21 +123,23 @@ class AuditLog:
 
         Returns the page's LSN, or None when the buffer was empty.
         """
-        if not self._buffer:
-            return None
-        body = b"".join(entry.encode() for entry in self._buffer)
-        lsn = self.log_disk.append_opaque_page(AUDIT_SEGMENT, body)
-        self._page_lsns.append(lsn)
-        self._buffer.clear()
-        self._buffer_bytes = 0
-        self.pages_flushed += 1
-        return lsn
+        with self._mutex:
+            if not self._buffer:
+                return None
+            body = b"".join(entry.encode() for entry in self._buffer)
+            lsn = self.log_disk.append_opaque_page(AUDIT_SEGMENT, body)
+            self._page_lsns.append(lsn)
+            self._buffer.clear()
+            self._buffer_bytes = 0
+            self.pages_flushed += 1
+            return lsn
 
     # -- reading -----------------------------------------------------------------
 
     def pending_entries(self) -> list[AuditEntry]:
         """Entries still in stable memory, not yet flushed."""
-        return list(self._buffer)
+        with self._mutex:
+            return list(self._buffer)
 
     def read_page(self, lsn: int) -> list[AuditEntry]:
         body = self.log_disk.read_opaque_page(lsn, AUDIT_SEGMENT)
@@ -141,10 +152,13 @@ class AuditLog:
 
     def trail(self) -> list[AuditEntry]:
         """The full audit trail: flushed pages (oldest first) + buffer."""
+        with self._mutex:
+            lsns = list(self._page_lsns)
+            buffered = list(self._buffer)
         entries: list[AuditEntry] = []
-        for lsn in self._page_lsns:
+        for lsn in lsns:
             entries.extend(self.read_page(lsn))
-        entries.extend(self._buffer)
+        entries.extend(buffered)
         return entries
 
     def entries_for(self, txn_id: int) -> list[AuditEntry]:

@@ -63,6 +63,14 @@ class PartitionBin:
     buffer_bytes: int = 0
     marked_for_checkpoint: bool = False
     checkpoint_reason: str | None = None
+    #: Per-bin lock (the sharded replacement for the old structure-wide
+    #: mutex): guards this bin's buffer, counters, directory and its
+    #: ``slt-page-*`` stable area.  Lock order: table mutex -> bin lock ->
+    #: stable-memory lock; the first-LSN heap mutex is never taken while
+    #: a bin lock is held.
+    mutex: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     @property
     def active(self) -> bool:
@@ -87,11 +95,18 @@ class StableLogTail:
         self._first_lsn_heap: list[tuple[int, int]] = []
         self._well_known: dict[str, object] = {}
         self.stable.allocate("slt-well-known", 16 * 1024, self._well_known)
-        #: Serialises the bin table between the recovery thread's sorting
-        #: loop and restore workers reading bins during phase-2 recovery.
-        #: Lock order: ``_mutex`` → stable-memory lock.
+        #: Table mutex: guards only the bin *maps* (registration, drop,
+        #: snapshots) and the well-known area.  Per-bin state is sharded
+        #: onto each :attr:`PartitionBin.mutex`, so the recovery thread
+        #: sorting into one bin no longer contends with restore workers
+        #: or checkpointers touching other bins.  Lock order:
+        #: table mutex → bin lock → stable-memory lock.
         self._mutex = threading.RLock()
-        # statistics
+        #: Guards the first-LSN min-heap.  Ordered heap mutex → bin lock
+        #: (never the reverse: pushes happen after the bin lock drops).
+        self._heap_mutex = threading.Lock()
+        # statistics; written only by the recovery CPU's sorting/sealing
+        # duties (one thread under either engine), read by anyone
         self.records_binned = 0
         self.pages_sealed = 0
 
@@ -116,33 +131,35 @@ class StableLogTail:
             bin_index = self.bin_index_of(partition)
             bin_ = self._bins.pop(bin_index)
             del self._by_partition[partition]
-            self.stable.release(f"slt-info-{bin_index}")
-            if f"slt-page-{bin_index}" in self.stable:
-                self.stable.release(f"slt-page-{bin_index}")
-            bin_.buffer.clear()
+            with bin_.mutex:
+                self.stable.release(f"slt-info-{bin_index}")
+                if f"slt-page-{bin_index}" in self.stable:
+                    self.stable.release(f"slt-page-{bin_index}")
+                bin_.buffer.clear()
 
     # -- lookup -----------------------------------------------------------------------
 
     def bin(self, bin_index: int) -> PartitionBin:
-        with self._mutex:
-            try:
-                return self._bins[bin_index]
-            except KeyError:
-                raise LogError(f"no partition bin {bin_index}") from None
+        # Lock-free read: committing transactions resolve bin indexes on
+        # every log record, and a single dict lookup is atomic under the
+        # GIL; registration only ever adds entries.
+        try:
+            return self._bins[bin_index]
+        except KeyError:
+            raise LogError(f"no partition bin {bin_index}") from None
 
     def bin_index_of(self, partition: PartitionAddress) -> int:
-        with self._mutex:
-            try:
-                return self._by_partition[partition]
-            except KeyError:
-                raise LogError(f"{partition} has no bin") from None
+        # Lock-free for the same reason as :meth:`bin`.
+        try:
+            return self._by_partition[partition]
+        except KeyError:
+            raise LogError(f"{partition} has no bin") from None
 
     def bin_for_partition(self, partition: PartitionAddress) -> PartitionBin:
         return self.bin(self.bin_index_of(partition))
 
     def has_partition(self, partition: PartitionAddress) -> bool:
-        with self._mutex:
-            return partition in self._by_partition
+        return partition in self._by_partition
 
     def bins(self) -> list[PartitionBin]:
         with self._mutex:
@@ -161,8 +178,8 @@ class StableLogTail:
         full, i.e. the caller (recovery processor) should seal and flush a
         page.
         """
-        with self._mutex:
-            bin_ = self.bin(record.bin_index)
+        bin_ = self.bin(record.bin_index)
+        with bin_.mutex:
             if bin_.partition != record.partition_address:
                 raise LogError(
                     f"record for {record.partition_address} carries bin index "
@@ -189,8 +206,8 @@ class StableLogTail:
         :meth:`note_page_written` confirms the page is durable on the log
         disk — a crash between seal and write must not lose them.
         """
-        with self._mutex:
-            bin_ = self.bin(bin_index)
+        bin_ = self.bin(bin_index)
+        with bin_.mutex:
             if not bin_.buffer:
                 raise LogError(f"bin {bin_index} has nothing to seal")
             embedded = (
@@ -212,8 +229,9 @@ class StableLogTail:
         """Record a flushed page: drain the now-durable records from the
         bin buffer and update the directory, first-LSN monitor, and the
         First-LSN list used for age triggers."""
-        with self._mutex:
-            bin_ = self.bin(bin_index)
+        bin_ = self.bin(bin_index)
+        newly_first = False
+        with bin_.mutex:
             if flushed_records is None:
                 flushed_records = len(bin_.buffer)
             flushed = bin_.buffer[:flushed_records]
@@ -221,25 +239,33 @@ class StableLogTail:
             bin_.buffer_bytes -= sum(record.size_bytes for record in flushed)
             if bin_.first_page_lsn == NULL_LSN:
                 bin_.first_page_lsn = lsn
-                heapq.heappush(self._first_lsn_heap, (lsn, bin_index))
+                newly_first = True
             if len(bin_.directory) >= self.config.log_directory_size:
                 bin_.directory = [lsn]  # the page embedded the previous group
             else:
                 bin_.directory.append(lsn)
             bin_.flushed_pages += 1
+        if newly_first:
+            # outside the bin lock: heap mutex -> bin lock is the only
+            # permitted nesting direction (see age_candidates)
+            with self._heap_mutex:
+                heapq.heappush(self._first_lsn_heap, (lsn, bin_index))
 
     # -- checkpoint triggers -----------------------------------------------------------------
 
     def update_count_candidates(self) -> list[PartitionBin]:
         """Bins whose update count crossed the threshold and are not yet
         marked for a checkpoint."""
-        with self._mutex:
-            threshold = self.config.update_count_threshold
-            return [
-                b
-                for b in self.bins()
-                if not b.marked_for_checkpoint and b.update_count >= threshold
-            ]
+        threshold = self.config.update_count_threshold
+        # bins() snapshots the table; the per-bin field reads are racy by
+        # design — a count crossing the threshold mid-scan is simply
+        # picked up on the next pump, and marking is re-checked by the
+        # (single) checkpoint service before a request is enqueued.
+        return [
+            b
+            for b in self.bins()
+            if not b.marked_for_checkpoint and b.update_count >= threshold
+        ]
 
     def age_candidates(self, age_trigger_lsn: int) -> list[PartitionBin]:
         """Bins whose first log page is about to fall off the log window.
@@ -248,23 +274,27 @@ class StableLogTail:
         stale heap entries (already checkpointed) are discarded lazily.
         """
         candidates = []
-        with self._mutex:
+        with self._heap_mutex:
             while self._first_lsn_heap:
                 lsn, bin_index = self._first_lsn_heap[0]
                 bin_ = self._bins.get(bin_index)
-                if bin_ is None or bin_.first_page_lsn != lsn:
-                    heapq.heappop(self._first_lsn_heap)  # stale entry
+                if bin_ is None:
+                    heapq.heappop(self._first_lsn_heap)  # dropped partition
                     continue
-                if lsn >= age_trigger_lsn:
-                    break
-                heapq.heappop(self._first_lsn_heap)
-                if not bin_.marked_for_checkpoint:
-                    candidates.append(bin_)
+                with bin_.mutex:  # heap mutex -> bin lock, never reversed
+                    if bin_.first_page_lsn != lsn:
+                        heapq.heappop(self._first_lsn_heap)  # stale entry
+                        continue
+                    if lsn >= age_trigger_lsn:
+                        break
+                    heapq.heappop(self._first_lsn_heap)
+                    if not bin_.marked_for_checkpoint:
+                        candidates.append(bin_)
         return candidates
 
     def mark_for_checkpoint(self, bin_index: int, reason: str) -> None:
-        with self._mutex:
-            bin_ = self.bin(bin_index)
+        bin_ = self.bin(bin_index)
+        with bin_.mutex:
             bin_.marked_for_checkpoint = True
             bin_.checkpoint_reason = reason
 
@@ -276,8 +306,8 @@ class StableLogTail:
         the log disk (combined into full archive pages) because they are
         still needed for media recovery (section 2.4).
         """
-        with self._mutex:
-            bin_ = self.bin(bin_index)
+        bin_ = self.bin(bin_index)
+        with bin_.mutex:
             leftovers = list(bin_.buffer)
             bin_.buffer.clear()
             bin_.buffer_bytes = 0
