@@ -163,6 +163,10 @@ class SystemConfig:
     #: Number of partition-sized slots on the checkpoint disk's
     #: pseudo-circular queue (section 2.4).
     checkpoint_slots: int = 4096
+    #: Decoded log pages kept in the log disk's bounded LRU cache, shared
+    #: by restart reads, ownership peeks, and the media-recovery scan
+    #: (0 disables caching).
+    log_page_cache_pages: int = 128
     #: Disk model used for the log disks.
     log_disk: DiskParameters = field(default_factory=DiskParameters)
     #: Disk model used for the checkpoint disks.
@@ -189,6 +193,8 @@ class SystemConfig:
             )
         if self.checkpoint_slots <= 0:
             raise ConfigurationError("checkpoint_slots must be positive")
+        if self.log_page_cache_pages < 0:
+            raise ConfigurationError("log_page_cache_pages cannot be negative")
 
     @property
     def records_per_page(self) -> int:

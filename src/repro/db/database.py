@@ -109,6 +109,10 @@ class Database:
         self.engine.attach(self)
         self.crashed = False
         self.restart_coordinator: RestartCoordinator | None = None
+        #: Totals of the most recent whole-database media restore
+        #: (:func:`~repro.recovery.media.restore_after_checkpoint_media_failure`);
+        #: ``None`` until one has run.
+        self.last_media_restore: dict | None = None
         #: Optional hook invoked as ``observer(txn)`` the instant a
         #: transaction becomes durable (used by the recovery oracle).
         self.commit_observer = None
@@ -133,7 +137,10 @@ class Database:
             SimulatedDisk("log-mirror", config.log_disk, self.clock),
         )
         self.log_disk = LogDisk(
-            log_pair, config.log_window_pages, config.log_window_grace_pages
+            log_pair,
+            config.log_window_pages,
+            config.log_window_grace_pages,
+            cache_pages=config.log_page_cache_pages,
         )
         self.checkpoint_disk = CheckpointDiskQueue(
             SimulatedDisk("checkpoint", config.checkpoint_disk, self.clock),
@@ -484,4 +491,6 @@ class Database:
             "checkpoints_taken": self.checkpoints.checkpoints_taken,
             "recovery_cpu_instructions": self.recovery_cpu.total_instructions,
             "resident_partitions": self.memory.resident_partition_count(),
+            "log_page_cache_hits": self.log_disk.cache_hits,
+            "media_restore": self.last_media_restore,
         }

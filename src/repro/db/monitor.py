@@ -67,6 +67,7 @@ class Monitor:
                 "window_start": db.log_disk.window_start,
                 "next_lsn": db.log_disk.next_lsn,
                 "active_bins": len(db.slt.active_bins()),
+                "page_cache_hits": db.log_disk.cache_hits,
             },
             "checkpoints": {
                 "taken": db.checkpoints.checkpoints_taken,
@@ -82,6 +83,7 @@ class Monitor:
                 "recovery_breakdown": db.recovery_cpu.category_breakdown(),
             },
             "residency": self._residency(),
+            "media_restore": db.last_media_restore,
             "audit": {
                 "entries": db.audit.entries_written,
                 "pages_flushed": db.audit.pages_flushed,

@@ -10,7 +10,9 @@ interchangeable schedulings of that design behind one interface:
   model comparison are bit-for-bit reproducible.
 * :class:`~repro.engine.threaded.ThreadedEngine` — the recovery
   processor on its own host thread, plus a worker pool that restores
-  missing partitions concurrently during restart phase 2.
+  missing partitions concurrently during restart phase 2 and fans out
+  the per-partition replay streams of a whole-database media restore
+  (:meth:`~repro.engine.base.ExecutionEngine.restore_map`).
 
 Select per database (``Database(engine=...)``) or process-wide with the
 ``REPRO_ENGINE`` environment variable (``sim`` | ``threaded``), which CI

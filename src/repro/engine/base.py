@@ -64,6 +64,20 @@ class ExecutionEngine(abc.ABC):
         the restart coordinator before the error propagates.
         """
 
+    def restore_map(self, fn, items: list) -> list:
+        """Apply ``fn`` to every item of a restore fan-out, returning the
+        results in input order.
+
+        Media recovery uses this seam to rebuild per-partition replay
+        streams the way restart phase 2 restores missing partitions: the
+        items are independent, so an engine may run them on a worker
+        pool.  The default applies them sequentially on the caller, in
+        input order — the deterministic degenerate case.  On failure the
+        first error propagates; items not yet started are abandoned (the
+        caller owns any retry policy).
+        """
+        return [fn(item) for item in items]
+
     def quiesce(self) -> None:
         """Wait for any engine-internal background work to settle.
 

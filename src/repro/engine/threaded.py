@@ -218,6 +218,57 @@ class ThreadedEngine(ExecutionEngine):
             raise errors[0]
         return recovered[0]
 
+    # -- restore fan-out (media recovery) -------------------------------------
+
+    def restore_map(self, fn, items: list) -> list:
+        """Run a restore fan-out on the worker pool, results in input
+        order.
+
+        Same pool shape as :meth:`restore_partitions`: workers claim items
+        by index, the first error stops the pool and is re-raised on the
+        caller.  One worker (or one item) degenerates to the sequential
+        base implementation, so SimEngine and ``workers=1`` apply in the
+        identical order.
+        """
+        items = list(items)
+        pool_size = min(self.workers, len(items))
+        if pool_size <= 1:
+            return super().restore_map(fn, items)
+        results: list = [None] * len(items)
+        state_lock = threading.Lock()
+        next_index = [0]
+        errors: list[BaseException] = []
+
+        def worker() -> None:
+            while True:
+                with state_lock:
+                    if errors or next_index[0] >= len(items):
+                        return
+                    index = next_index[0]
+                    next_index[0] += 1
+                try:
+                    results[index] = fn(items[index])
+                # Not a swallow: the first error stops the pool and is
+                # re-raised on the caller, same as restore_partitions.
+                except BaseException as exc:  # repro-check: ignore[RC04]
+                    with state_lock:
+                        errors.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(
+                target=worker, name=f"repro-media-restore-{i}", daemon=True
+            )
+            for i in range(pool_size)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results
+
     # -- lifecycle ------------------------------------------------------------
 
     def quiesce(self) -> None:

@@ -14,6 +14,8 @@
 """
 
 from repro.recovery.media import (
+    build_partition_from_stream,
+    demultiplex_log_history,
     rebuild_partition_from_history,
     restore_after_checkpoint_media_failure,
     restore_after_log_media_failure,
@@ -28,6 +30,8 @@ __all__ = [
     "RecoveryProcessor",
     "RecoveryVerifier",
     "RestartCoordinator",
+    "build_partition_from_stream",
+    "demultiplex_log_history",
     "enumerate_log_pages",
     "logical_digest",
     "rebuild_partition",

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import struct
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.common.errors import LogError, LogWindowOverrunError
@@ -46,6 +47,17 @@ from repro.wal.records import (
 ARCHIVE_SEGMENT = -1
 
 _PAGE_HEADER = struct.Struct("<iiqHI")  # segment, partition, lsn, dir_len, body_len
+
+
+def page_owner_from_blob(blob: bytes) -> PartitionAddress:
+    """The owning partition stamped in a page blob's header.
+
+    Header-only: no record decoding, so ownership checks on pages that
+    turn out to be irrelevant (other partitions, audit markers) cost one
+    struct unpack on top of the verified read that produced the blob.
+    """
+    segment, partition, _, _, _ = _PAGE_HEADER.unpack_from(blob, 0)
+    return PartitionAddress(segment, partition)
 
 
 @dataclass
@@ -151,9 +163,17 @@ class ArchiveStore:
 class LogDisk:
     """Duplexed log disks plus the sliding log window."""
 
-    def __init__(self, disks: DuplexedDisk, window_pages: int, grace_pages: int):
+    def __init__(
+        self,
+        disks: DuplexedDisk,
+        window_pages: int,
+        grace_pages: int,
+        cache_pages: int = 128,
+    ):
         if window_pages <= grace_pages:
             raise ValueError("window must be larger than the grace period")
+        if cache_pages < 0:
+            raise ValueError("cache_pages cannot be negative")
         self.disks = disks
         self.window_pages = window_pages
         self.grace_pages = grace_pages
@@ -165,6 +185,14 @@ class LogDisk:
         #: read/write counters.  Reads perform disk I/O outside this lock
         #: so phase-2 restore workers genuinely overlap their log reads.
         self._mutex = threading.RLock()
+        #: Bounded LRU of decoded pages, shared by the media-recovery
+        #: scan, :meth:`page_owner`, and restart reads.  Log pages are
+        #: immutable once written (LSNs are never reused), so a cached
+        #: decode stays valid until the page is dropped.  Leaf lock.
+        self.cache_pages = cache_pages
+        self._page_cache: "OrderedDict[int, LogPage]" = OrderedDict()
+        self._cache_mutex = threading.Lock()
+        self.cache_hits = 0
 
     # -- window geometry ----------------------------------------------------------
 
@@ -224,32 +252,52 @@ class LogDisk:
 
     def read_opaque_page(self, lsn: int, marker_segment: int) -> bytes:
         """Read back an opaque page's body, checking its marker."""
-        if self.disks.contains(lsn):
-            blob = self.disks.read_page(lsn, sibling=True)
-        elif lsn in self.archive:
-            blob = self.archive.raw(lsn)
-        else:
-            raise LogError(f"log page {lsn} not found on disk or archive")
+        blob = self.fetch_blob(lsn)
         segment, _, page_lsn, _, body_len = _PAGE_HEADER.unpack_from(blob, 0)
         if segment != marker_segment or page_lsn != lsn:
             raise LogError(f"page {lsn} is not an opaque page of {marker_segment}")
         pos = _PAGE_HEADER.size
         return blob[pos : pos + body_len]
 
-    def read_page(self, lsn: int, *, expected: PartitionAddress | None = None) -> LogPage:
-        """Read and decode one log page, optionally verifying its owner.
+    def fetch_blob(self, lsn: int) -> bytes:
+        """One verified read of a page's raw bytes, wherever it lives.
 
         Pages that left the window are transparently served from the
         archive (the paper's media-recovery path would do the same from
         tape)."""
         if self.disks.contains(lsn):
-            page = LogPage.decode(self.disks.read_page(lsn, sibling=True))
+            blob = self.disks.read_page(lsn, sibling=True)
         elif lsn in self.archive:
-            page = self.archive.read(lsn)
+            blob = self.archive.raw(lsn)
         else:
             raise LogError(f"log page {lsn} not found on disk or archive")
         with self._mutex:
             self.pages_read += 1
+        return blob
+
+    def decode_blob(self, lsn: int, blob: bytes) -> LogPage:
+        """Decode a fetched blob into a :class:`LogPage`, via the cache.
+
+        A cached decode is returned as-is (pages are immutable); a fresh
+        decode is verified against its addressed LSN and cached.
+        """
+        page = self._cache_get(lsn)
+        if page is None:
+            page = LogPage.decode(blob)
+            if page.lsn != lsn:
+                raise LogError(f"log page {lsn} carries LSN {page.lsn}")
+            self._cache_put(lsn, page)
+        return page
+
+    def read_page(self, lsn: int, *, expected: PartitionAddress | None = None) -> LogPage:
+        """Read and decode one log page, optionally verifying its owner.
+
+        A decoded-cache hit skips the disk read entirely; otherwise the
+        blob comes from the active window or the archive via
+        :meth:`fetch_blob`."""
+        page = self._cache_get(lsn)
+        if page is None:
+            page = self.decode_blob(lsn, self.fetch_blob(lsn))
         if page.lsn != lsn:
             raise LogError(f"log page {lsn} carries LSN {page.lsn}")
         if expected is not None and page.partition != expected:
@@ -259,20 +307,48 @@ class LogDisk:
         return page
 
     def page_owner(self, lsn: int) -> PartitionAddress:
-        """Peek a page's owning partition (archive/audit markers included)
-        without decoding its body."""
-        if self.disks.contains(lsn):
-            blob = self.disks.read_page(lsn, sibling=True)
-        elif lsn in self.archive:
-            blob = self.archive.raw(lsn)
-        else:
-            raise LogError(f"log page {lsn} not found on disk or archive")
-        segment, partition, _, _, _ = _PAGE_HEADER.unpack_from(blob, 0)
-        return PartitionAddress(segment, partition)
+        """Peek a page's owning partition (archive/audit markers included).
+
+        A decoded-cache hit answers from the cached page; otherwise this
+        is a header-only peek — one verified read, no record decoding.
+        """
+        page = self._cache_get(lsn)
+        if page is not None:
+            return page.partition
+        return page_owner_from_blob(self.fetch_blob(lsn))
 
     def all_lsns(self) -> list[int]:
         """Every page LSN still held anywhere: active window plus archive."""
         return sorted(set(self.disks.block_ids()) | set(self.archive.lsns()))
+
+    def drop_page(self, lsn: int) -> None:
+        """Forget a page everywhere: both spindles and the decoded cache.
+
+        Used by log-media rescue to discard unreadable blocks; without the
+        cache eviction a previously decoded copy would keep serving a page
+        the operator declared lost."""
+        self.disks.free(lsn)
+        with self._cache_mutex:
+            self._page_cache.pop(lsn, None)
+
+    # -- decoded-page cache ----------------------------------------------------------
+
+    def _cache_get(self, lsn: int) -> LogPage | None:
+        with self._cache_mutex:
+            page = self._page_cache.get(lsn)
+            if page is not None:
+                self._page_cache.move_to_end(lsn)
+                self.cache_hits += 1
+            return page
+
+    def _cache_put(self, lsn: int, page: LogPage) -> None:
+        if self.cache_pages == 0:
+            return
+        with self._cache_mutex:
+            self._page_cache[lsn] = page
+            self._page_cache.move_to_end(lsn)
+            while len(self._page_cache) > self.cache_pages:
+                self._page_cache.popitem(last=False)
 
     def _reclaim_expired(self) -> None:
         start = self.window_start

@@ -176,6 +176,65 @@ class TestParallelRestore:
         db.close()
 
 
+class TestRestoreMap:
+    """The media-recovery fan-out seam: results in input order, first
+    error propagated, sequential degenerate cases."""
+
+    def test_threaded_pool_preserves_input_order(self):
+        engine = ThreadedEngine(workers=4)
+        try:
+            items = list(range(50))
+            seen_threads = set()
+            gate = threading.Barrier(2, timeout=10)
+
+            def work(item):
+                seen_threads.add(threading.current_thread().name)
+                if item < 2:
+                    gate.wait()  # prove two workers run concurrently
+                return item * 2
+
+            assert engine.restore_map(work, items) == [i * 2 for i in items]
+            assert len(seen_threads) > 1  # the pool actually fanned out
+        finally:
+            engine.shutdown()
+
+    def test_single_worker_runs_on_caller(self):
+        engine = ThreadedEngine(workers=1)
+        try:
+            caller = threading.current_thread().name
+            threads = []
+            engine.restore_map(lambda i: threads.append(threading.current_thread().name), [1, 2, 3])
+            assert threads == [caller] * 3
+        finally:
+            engine.shutdown()
+
+    def test_sim_engine_is_sequential_in_order(self):
+        engine = SimEngine()
+        order = []
+        engine.restore_map(order.append, [3, 1, 2])
+        assert order == [3, 1, 2]
+
+    def test_first_error_propagates(self):
+        engine = ThreadedEngine(workers=4)
+        try:
+            def work(item):
+                if item == 7:
+                    raise RuntimeError("injected fan-out failure")
+                return item
+
+            with pytest.raises(RuntimeError, match="injected fan-out failure"):
+                engine.restore_map(work, list(range(20)))
+        finally:
+            engine.shutdown()
+
+    def test_empty_items(self):
+        engine = ThreadedEngine(workers=4)
+        try:
+            assert engine.restore_map(lambda i: i, []) == []
+        finally:
+            engine.shutdown()
+
+
 class TestRecoveryThreadFerry:
     def test_exception_reraised_on_submitter(self):
         thread = _RecoveryThread("test-ferry")

@@ -30,13 +30,13 @@ def make_slt(config=None):
     return StableLogTail(StableMemory("slt", 1024 * 1024), config)
 
 
-def make_log_disk(window=16, grace=4):
+def make_log_disk(window=16, grace=4, cache=128):
     clock = VirtualClock()
     params = DiskParameters()
     pair = DuplexedDisk(
         SimulatedDisk("log-a", params, clock), SimulatedDisk("log-b", params, clock)
     )
-    return LogDisk(pair, window_pages=window, grace_pages=grace)
+    return LogDisk(pair, window_pages=window, grace_pages=grace, cache_pages=cache)
 
 
 def record(bin_index, offset=1, size=40, paddr=PADDR):
@@ -338,3 +338,76 @@ class TestLogCondensing:
             PartitionAddress(1, 1),
             PartitionAddress(1, 2),
         }
+
+
+class TestDecodedPageCache:
+    """The bounded LRU of decoded pages shared by media scans,
+    ``page_owner`` peeks, and restart reads."""
+
+    def test_repeat_read_served_from_cache(self):
+        log_disk = make_log_disk()
+        lsn = log_disk.append_page(LogPage(PADDR, [record(0)]))
+        first = log_disk.read_page(lsn)
+        reads = log_disk.pages_read
+        again = log_disk.read_page(lsn)
+        assert again is first  # the decoded object itself
+        assert log_disk.pages_read == reads  # no second disk read
+        assert log_disk.cache_hits >= 1
+
+    def test_page_owner_hits_cache_after_read(self):
+        log_disk = make_log_disk()
+        lsn = log_disk.append_page(LogPage(PADDR, [record(0)]))
+        log_disk.read_page(lsn)
+        reads = log_disk.pages_read
+        assert log_disk.page_owner(lsn) == PADDR
+        assert log_disk.pages_read == reads
+
+    def test_page_owner_peek_does_not_decode(self):
+        """A cold owner peek is a header-only read: nothing is cached, so
+        a later full read still pays one decode read."""
+        log_disk = make_log_disk()
+        lsn = log_disk.append_page(LogPage(PADDR, [record(0)]))
+        assert log_disk.page_owner(lsn) == PADDR
+        hits = log_disk.cache_hits
+        log_disk.read_page(lsn)
+        assert log_disk.cache_hits == hits  # the peek cached nothing
+
+    def test_cache_disabled(self):
+        log_disk = make_log_disk(cache=0)
+        lsn = log_disk.append_page(LogPage(PADDR, [record(0)]))
+        log_disk.read_page(lsn)
+        reads = log_disk.pages_read
+        log_disk.read_page(lsn)
+        assert log_disk.pages_read == reads + 1
+        assert log_disk.cache_hits == 0
+
+    def test_lru_eviction_is_bounded(self):
+        log_disk = make_log_disk(cache=2)
+        lsns = [log_disk.append_page(LogPage(PADDR, [record(0)])) for _ in range(3)]
+        for lsn in lsns:
+            log_disk.read_page(lsn)
+        reads = log_disk.pages_read
+        log_disk.read_page(lsns[0])  # evicted by the third insert
+        assert log_disk.pages_read == reads + 1
+        log_disk.read_page(lsns[2])  # still cached
+        assert log_disk.pages_read == reads + 1
+
+    def test_drop_page_evicts_cache_and_spindles(self):
+        log_disk = make_log_disk()
+        lsn = log_disk.append_page(LogPage(PADDR, [record(0)]))
+        log_disk.read_page(lsn)
+        log_disk.drop_page(lsn)
+        with pytest.raises(LogError):
+            log_disk.read_page(lsn)
+
+    def test_negative_cache_size_rejected(self):
+        with pytest.raises(Exception):
+            make_log_disk(cache=-1)
+
+    def test_owner_from_blob_matches_decoded_page(self):
+        from repro.wal.log_disk import page_owner_from_blob
+
+        log_disk = make_log_disk()
+        lsn = log_disk.append_page(LogPage(PADDR, [record(0)]))
+        blob = log_disk.fetch_blob(lsn)
+        assert page_owner_from_blob(blob) == log_disk.read_page(lsn).partition
