@@ -19,8 +19,14 @@ import threading
 from repro.common.checksum import open_frame, seal_frame
 from repro.common.errors import CheckpointError
 from repro.concurrency.latch import Latch
-from repro.sim.chaos import crash_point, register_crash_point
+from repro.sim.chaos import (
+    crash_point,
+    fault_point,
+    register_crash_point,
+    register_fault_point,
+)
 from repro.sim.disk import SimulatedDisk
+from repro.sim.faults import RetryPolicy, TransientIOStats, run_with_retry
 
 register_crash_point(
     "checkpoint.image.before-write",
@@ -30,16 +36,34 @@ register_crash_point(
     "checkpoint.image.after-write",
     "image durable in its slot, checkpoint transaction not yet committed",
 )
+register_fault_point(
+    "checkpoint.image.write",
+    "transient controller fault on a checkpoint-image track write",
+)
+register_fault_point(
+    "checkpoint.image.read",
+    "transient controller fault on a checkpoint-image track read",
+)
 
 
 class CheckpointDiskQueue:
     """Slot allocator plus image I/O on the checkpoint disk."""
 
-    def __init__(self, disk: SimulatedDisk, slots: int):
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        slots: int,
+        retry_policy: RetryPolicy | None = None,
+    ):
         if slots <= 0:
             raise CheckpointError("checkpoint disk needs at least one slot")
         self.disk = disk
         self.slots = slots
+        #: Transient device faults are retried within this budget and
+        #: escalate to ``MediaFailure`` past it; counters land in
+        #: ``Database.stats()["transient_io"]["checkpoint"]``.
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.io_stats = TransientIOStats()
         self.map_latch = Latch("checkpoint-disk-map")
         self._occupied: set[int] = set()
         self._head = 0
@@ -86,16 +110,37 @@ class CheckpointDiskQueue:
         with self._mutex:
             if slot not in self._occupied:
                 raise CheckpointError(f"slot {slot} was not allocated")
+        framed = seal_frame(image)
+        # Fault hook and primitive write share one lambda so the retry
+        # wrapper re-runs both; past-budget faults escalate to
+        # MediaFailure and the media-rescue paths take over.
         crash_point("checkpoint.image.before-write")
-        self.disk.write_track(slot, seal_frame(image))
+        run_with_retry(
+            lambda: (
+                fault_point("checkpoint.image.write"),
+                self.disk.write_track(slot, framed),
+            ),
+            self.retry_policy,
+            self.io_stats,
+            "write",
+            f"checkpoint-image write to slot {slot}",
+        )
         crash_point("checkpoint.image.after-write")
 
     def read_image(self, slot: int) -> bytes:
         """Read and verify one image; raises
         :class:`~repro.common.errors.ChecksumError` on corruption."""
-        return open_frame(
-            self.disk.read_track(slot), context=f"checkpoint slot {slot}"
+        blob = run_with_retry(
+            lambda: (
+                fault_point("checkpoint.image.read"),
+                self.disk.read_track(slot),
+            )[1],
+            self.retry_policy,
+            self.io_stats,
+            "read",
+            f"checkpoint-image read from slot {slot}",
         )
+        return open_frame(blob, context=f"checkpoint slot {slot}")
 
     # -- inspection -------------------------------------------------------------------
 

@@ -167,6 +167,10 @@ class SystemConfig:
     #: by restart reads, ownership peeks, and the media-recovery scan
     #: (0 disables caching).
     log_page_cache_pages: int = 128
+    #: Retries allowed per duplexed I/O operation before a transient
+    #: device fault escalates to a hard ``MediaFailure`` (0 = escalate on
+    #: the first fault).  Shared by the log and checkpoint disks.
+    io_retry_budget: int = 4
     #: Disk model used for the log disks.
     log_disk: DiskParameters = field(default_factory=DiskParameters)
     #: Disk model used for the checkpoint disks.
@@ -195,6 +199,8 @@ class SystemConfig:
             raise ConfigurationError("checkpoint_slots must be positive")
         if self.log_page_cache_pages < 0:
             raise ConfigurationError("log_page_cache_pages cannot be negative")
+        if self.io_retry_budget < 0:
+            raise ConfigurationError("io_retry_budget cannot be negative")
 
     @property
     def records_per_page(self) -> int:

@@ -65,6 +65,7 @@ from repro.recovery.restart import RestartCoordinator
 from repro.sim.clock import VirtualClock
 from repro.sim.cpu import CpuMeter
 from repro.sim.disk import DuplexedDisk, SimulatedDisk
+from repro.sim.faults import RetryPolicy
 from repro.sim.stable_memory import StableMemory
 from repro.storage.memory_manager import MemoryManager
 from repro.storage.partition import Partition
@@ -136,15 +137,18 @@ class Database:
             SimulatedDisk("log-primary", config.log_disk, self.clock),
             SimulatedDisk("log-mirror", config.log_disk, self.clock),
         )
+        retry_policy = RetryPolicy(budget=config.io_retry_budget)
         self.log_disk = LogDisk(
             log_pair,
             config.log_window_pages,
             config.log_window_grace_pages,
             cache_pages=config.log_page_cache_pages,
+            retry_policy=retry_policy,
         )
         self.checkpoint_disk = CheckpointDiskQueue(
             SimulatedDisk("checkpoint", config.checkpoint_disk, self.clock),
             config.checkpoint_slots,
+            retry_policy=retry_policy,
         )
 
     def _build_volatile(self) -> None:
@@ -397,6 +401,28 @@ class Database:
         index.store.sink = txn
         return index
 
+    def reload_index_mirrors(self, segment_ids: set[int]) -> None:
+        """Flag cached index objects whose segments just rolled back.
+
+        An abort (or statement rollback) restores index component *bytes*
+        through UNDO records, but a cached ``TTreeIndex`` /
+        ``LinearHashIndex`` also mirrors its anchor in decoded form
+        (bucket directory, split pointer, root address, item count).
+        Called by the transaction layer after applying UNDO; each flagged
+        index re-decodes the mirror from the restored bytes at the start
+        of its next serialised operation.
+        """
+        if not segment_ids:
+            return
+        with self._handles_mutex:
+            stale = [
+                index
+                for index in self._index_objects.values()
+                if index.store.segment.segment_id in segment_ids
+            ]
+        for index in stale:
+            index.mark_mirror_stale()
+
     # -- residency / demand recovery --------------------------------------------------------------------
 
     def ensure_partition(self, address: PartitionAddress) -> Partition:
@@ -493,4 +519,8 @@ class Database:
             "resident_partitions": self.memory.resident_partition_count(),
             "log_page_cache_hits": self.log_disk.cache_hits,
             "media_restore": self.last_media_restore,
+            "transient_io": {
+                "log": self.log_disk.io_stats.snapshot(),
+                "checkpoint": self.checkpoint_disk.io_stats.snapshot(),
+            },
         }

@@ -83,6 +83,10 @@ class Monitor:
                 "recovery_breakdown": db.recovery_cpu.category_breakdown(),
             },
             "residency": self._residency(),
+            "transient_io": {
+                "log": db.log_disk.io_stats.snapshot(),
+                "checkpoint": db.checkpoint_disk.io_stats.snapshot(),
+            },
             "media_restore": db.last_media_restore,
             "audit": {
                 "entries": db.audit.entries_written,
@@ -167,6 +171,24 @@ class Monitor:
                 f"    {name:<20} {info['resident']}/{info['partitions']} resident"
                 + (f" ({info['missing']} missing)" if info["missing"] else "")
             )
+        log_io = snap["transient_io"]["log"]
+        ckpt_io = snap["transient_io"]["checkpoint"]
+        faults = (
+            log_io["read_faults"]
+            + log_io["write_faults"]
+            + ckpt_io["read_faults"]
+            + ckpt_io["write_faults"]
+        )
+        escalations = (
+            log_io["read_escalations"]
+            + log_io["write_escalations"]
+            + ckpt_io["read_escalations"]
+            + ckpt_io["write_escalations"]
+        )
+        lines.append(
+            f"--- transient I/O    {faults} faults, "
+            f"{escalations} escalated to media failure"
+        )
         lines.append(
             f"--- audit trail      {snap['audit']['entries']} entries, "
             f"{snap['audit']['pages_flushed']} pages flushed"

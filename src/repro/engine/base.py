@@ -13,9 +13,16 @@ import abc
 from typing import TYPE_CHECKING
 
 from repro.common.types import PartitionAddress
+from repro.sim.chaos import crash_point, register_crash_point
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.database import Database
+
+register_crash_point(
+    "engine.restore.before-partition",
+    "restart phase 2: a restore worker claimed a partition, rebuild not "
+    "yet started (fires on every engine's restore path)",
+)
 
 
 class ExecutionEngine(abc.ABC):
@@ -101,6 +108,7 @@ class ExecutionEngine(abc.ABC):
         while remaining:
             address = remaining.pop(0)
             try:
+                crash_point("engine.restore.before-partition")
                 if coordinator.recover_partition(address) is not None:
                     recovered += 1
             except BaseException:

@@ -29,6 +29,7 @@ import weakref
 
 from repro.common.types import PartitionAddress
 from repro.engine.base import ExecutionEngine
+from repro.sim.chaos import crash_point
 
 
 class _RecoveryThread:
@@ -191,6 +192,7 @@ class ThreadedEngine(ExecutionEngine):
                         return
                     address = work.pop(0)
                 try:
+                    crash_point("engine.restore.before-partition")
                     if coordinator.recover_partition(address) is not None:
                         with state_lock:
                             recovered[0] += 1

@@ -60,6 +60,7 @@ def serialised(method: _F) -> _F:
     @functools.wraps(method)
     def wrapper(self: "Index", *args: Any, **kwargs: Any) -> Any:
         with self._structure_mutex:
+            self._refresh_mirror_if_stale()
             return method(self, *args, **kwargs)
 
     return wrapper  # type: ignore[return-value]
@@ -73,6 +74,7 @@ def serialised_scan(method: Callable[..., Iterator[Any]]) -> Callable[..., Itera
     @functools.wraps(method)
     def wrapper(self: "Index", *args: Any, **kwargs: Any) -> Iterator[Any]:
         with self._structure_mutex:
+            self._refresh_mirror_if_stale()
             return iter(list(method(self, *args, **kwargs)))
 
     return wrapper
@@ -92,6 +94,33 @@ class Index:
         #: See :func:`serialised` — whole-structure mutex for operations
         #: whose intermediate states must stay invisible across threads.
         self._structure_mutex = threading.RLock()
+        #: See :meth:`mark_mirror_stale`.
+        self._mirror_stale = False
+
+    # -- mirror staleness ---------------------------------------------------------
+
+    def mark_mirror_stale(self) -> None:
+        """A rollback restored this index's component bytes: the decoded
+        anchor state held on the object (bucket directory, split pointer,
+        root address, item count) no longer matches them.
+
+        The reload happens *lazily* at the start of the next serialised
+        operation, under the structure mutex — reloading eagerly from the
+        aborting transaction could nest another index's structure mutex
+        under one this thread already holds mid-unwind, inviting a
+        lock-order cycle.  The flag flip itself is atomic under the GIL.
+        """
+        self._mirror_stale = True
+
+    def _refresh_mirror_if_stale(self) -> None:
+        """Called by :func:`serialised` with the structure mutex held."""
+        if self._mirror_stale:
+            self._mirror_stale = False
+            self._reload_mirror()
+
+    def _reload_mirror(self) -> None:
+        """Re-decode anchor state from component bytes (subclass hook)."""
+        raise NotImplementedError
 
     def insert(self, key: Key, value: EntityAddress) -> None:
         raise NotImplementedError

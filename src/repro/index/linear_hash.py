@@ -203,6 +203,15 @@ class LinearHashIndex(Index):
     def _save_anchor(self) -> None:
         self.store.write(self.anchor, self._encode_anchor())
 
+    def _reload_mirror(self) -> None:
+        """Re-decode the anchor after a rollback restored its bytes.
+
+        A transaction abort applies byte-level UNDO to the anchor,
+        directory chunks, and buckets; the decoded directory, split
+        pointer, level, and count held here would otherwise keep the
+        rolled-back structure."""
+        self._load_anchor()
+
     def _append_to_directory(self, bucket_address: EntityAddress) -> None:
         """Grow the directory by one bucket, rewriting only the tail chunk
         (or allocating a fresh one when the tail is full)."""

@@ -30,6 +30,16 @@ class ChangeSink(Protocol):
     recovery rebuilds) skips logging and locking entirely.
     """
 
+    def lock_component(self, address: EntityAddress) -> None:
+        """Take the two-phase exclusive lock on a component *before* it is
+        physically changed.
+
+        Under the no-wait policy a refused lock aborts the transaction on
+        the spot — and at that moment no UNDO record for the pending
+        change exists yet, so the rollback can only be correct if the
+        component is still untouched.  ``NodeStore`` therefore settles the
+        lock first and mutates second."""
+
     def index_node_written(
         self, address: EntityAddress, before: bytes | None, after: bytes
     ) -> None:
@@ -103,17 +113,26 @@ class NodeStore:
 
     def write(self, address: EntityAddress, data: bytes) -> None:
         partition = self.segment.get(address.partition)
+        sink = self.sink
+        if sink is not None:
+            # Lock before mutating: a no-wait refusal aborts the calling
+            # transaction, and the abort holds no UNDO record for this
+            # write yet — the component must still be untouched.
+            sink.lock_component(address)
         before = partition.read(address.offset)
         partition.update(address.offset, data)
-        if self.sink is not None:
-            self.sink.index_node_written(address, before, data)
+        if sink is not None:
+            sink.index_node_written(address, before, data)
 
     def free(self, address: EntityAddress) -> None:
         partition = self.segment.get(address.partition)
+        sink = self.sink
+        if sink is not None:
+            sink.lock_component(address)  # see write(): lock, then mutate
         before = partition.read(address.offset)
         partition.delete(address.offset)
-        if self.sink is not None:
-            self.sink.index_node_freed(address, before)
+        if sink is not None:
+            sink.index_node_freed(address, before)
 
     # -- placement ----------------------------------------------------------------
 

@@ -188,6 +188,15 @@ class TTreeIndex(Index):
         self.max_items = max_items
         self._root, _ = unpack_address(blob, _ANCHOR_HEADER.size)
 
+    def _reload_mirror(self) -> None:
+        """Re-decode the anchor after a rollback restored its bytes.
+
+        A transaction abort applies byte-level UNDO to the anchor and
+        nodes; the decoded root address and item count held here would
+        otherwise keep the rolled-back structure."""
+        self._load_anchor()
+        self._count = sum(1 for _ in self.items())
+
     def _set_root(self, address: EntityAddress) -> None:
         if address != self._root:
             self._root = address

@@ -16,7 +16,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.common.errors import ChecksumError, RecoveryError, StorageError
+from repro.common.errors import (
+    ChecksumError,
+    MediaFailure,
+    RecoveryError,
+    StorageError,
+)
 from repro.common.types import NULL_LSN, PartitionAddress
 from repro.sim.faults import TornWriteError
 from repro.storage.partition import Partition
@@ -131,7 +136,12 @@ def rebuild_partition_resilient(
             heap_fraction,
         )
         return partition, stats, False
-    except (TornWriteError, ChecksumError, StorageError):
+    except (TornWriteError, ChecksumError, StorageError, MediaFailure):
+        # MediaFailure lands here when a checkpoint-side transient fault
+        # burst exhausted its retry budget: the image is as good as lost,
+        # and the full-history path below rebuilds without it.  A log-side
+        # MediaFailure re-raises from the replay itself — the log really
+        # is the last copy.
         from repro.recovery.media import rebuild_partition_from_history
 
         partition, media_stats = rebuild_partition_from_history(

@@ -26,7 +26,7 @@ from repro.catalog.catalog import Catalog, IndexDescriptor
 from repro.common.errors import RecoveryError, StorageError
 from repro.sim.chaos import crash_point, register_crash_point
 from repro.common.types import PartitionAddress, SegmentKind
-from repro.recovery.redo import rebuild_partition, rebuild_partition_resilient
+from repro.recovery.redo import rebuild_partition_resilient
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.database import Database
@@ -96,7 +96,10 @@ class RestartCoordinator:
             return
         catalog, locations = Catalog.from_well_known_entry(db.memory, entry)
         for address, slot in locations:
-            partition, stats = rebuild_partition(
+            # Resilient like phase 2: a catalog checkpoint image lost to a
+            # torn write or an escalated transient-fault burst is rebuilt
+            # from full log history instead of failing the restart.
+            partition, stats, used_fallback = rebuild_partition_resilient(
                 address,
                 slot,
                 db.checkpoint_disk,
@@ -105,7 +108,7 @@ class RestartCoordinator:
                 db.config.partition_size,
             )
             catalog.segment.install(partition)
-            self._note(stats)
+            self._note(stats, used_fallback=used_fallback)
         db.catalog = catalog
         catalog.rebuild()
         crash_point("restart.phase1.catalog-recovered")

@@ -53,6 +53,9 @@ class CpuMeter:
         #: ``bench_txn_throughput`` measures.  The sleep happens outside
         #: ``_lock`` so meter readers never block on it.
         self.realtime_scale = 0.0
+        #: Optional host-pause perturbation (chaos latency injection);
+        #: mirrors ``SimulatedDisk.latency_injector``.
+        self.latency_injector = None
 
     # -- charging -----------------------------------------------------------
 
@@ -70,7 +73,13 @@ class CpuMeter:
             self._total_instructions += instructions
         seconds = instructions / (self.mips * 1_000_000.0)
         self.clock.advance(seconds)
-        host_pause(seconds * self.realtime_scale)
+        scale = self.realtime_scale
+        injector = self.latency_injector
+        if scale or injector is not None:
+            pause = seconds * scale
+            if injector is not None:
+                pause = injector(pause)
+            host_pause(pause)
         return seconds
 
     def charge_stable_bytes(self, nbytes: int, category: str = "stable-copy") -> float:

@@ -84,6 +84,11 @@ class SimulatedDisk:
         #: so overlapped device waits cost overlapped wall time; the sleep
         #: happens outside the block mutex, so concurrent readers overlap.
         self.realtime_scale = 0.0
+        #: Optional host-pause perturbation (chaos latency injection).
+        #: Receives the pause computed from ``realtime_scale`` and returns
+        #: the pause to actually take; seeded jitter here makes threaded
+        #: workers reorder reproducibly (see ``repro.sim.chaos.install_latency``).
+        self.latency_injector = None
         #: Guards the block table and stats — the recovery thread flushes
         #: log pages while restore workers read checkpoint tracks.
         self._mutex = threading.RLock()
@@ -177,7 +182,7 @@ class SimulatedDisk:
         with self._mutex:
             self.stats.busy_seconds += seconds
         self.clock.advance(seconds)
-        host_pause(seconds * self.realtime_scale)
+        self._bridge_pause(seconds)
 
     # -- reads ----------------------------------------------------------------
 
@@ -214,7 +219,18 @@ class SimulatedDisk:
             self.stats.busy_seconds += seconds
             self.stats.bytes_read += nbytes
         self.clock.advance(seconds)
-        host_pause(seconds * self.realtime_scale)
+        self._bridge_pause(seconds)
+
+    def _bridge_pause(self, seconds: float) -> None:
+        # Host-time bridge: near-free (two attribute loads) when neither
+        # realtime scaling nor chaos latency is installed.
+        scale = self.realtime_scale
+        injector = self.latency_injector
+        if scale or injector is not None:
+            pause = seconds * scale
+            if injector is not None:
+                pause = injector(pause)
+            host_pause(pause)
 
     # -- inspection -----------------------------------------------------------
 

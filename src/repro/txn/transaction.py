@@ -42,6 +42,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.storage.partition import Partition
 
 
+def _index_segments(records: list[undo.UndoRecord]) -> set[int]:
+    """Segments whose index components the given UNDO records restore."""
+    return {
+        record.address.segment
+        for record in records
+        if isinstance(record, (undo.UndoIndexNodeWrite, undo.UndoIndexNodeFree))
+    }
+
+
 class TxnState(enum.Enum):
     ACTIVE = "active"
     COMMITTED = "committed"
@@ -125,11 +134,17 @@ class Transaction:
     def abort(self) -> None:
         """Roll back: apply UNDO records newest-first, discard REDO chain."""
         self._ensure_active()
+        index_segments = _index_segments(self._undo)
         for record in reversed(self._undo):
             record.apply(self.db.memory)
         self._undo.clear()
         self.db.slb.abort(self.txn_id)
         self.state = TxnState.ABORTED
+        # Cached index objects mirror their anchors in decoded form
+        # (directory, split pointer, root); the byte-level rollback above
+        # made those mirrors stale.  Flag them before the component locks
+        # release so no later operation runs on the rolled-back mirror.
+        self.db.reload_index_mirrors(index_segments)
         self.db.locks.release_all(self.txn_id)
         self.db.audit.record(self.txn_id, "abort", self.db.clock.now)
         self.db.on_transaction_finished(self)
@@ -153,11 +168,14 @@ class Transaction:
 
     def _statement_rollback(self, mark: tuple[int, int]) -> None:
         undo_mark, redo_mark = mark
-        for record in reversed(self._undo[undo_mark:]):
+        suffix = self._undo[undo_mark:]
+        for record in reversed(suffix):
             record.apply(self.db.memory)
         del self._undo[undo_mark:]
         self.db.slb.truncate_chain(self.txn_id, redo_mark)
         self.redo_records = redo_mark
+        # as in abort(): re-sync cached index mirrors with the restored bytes
+        self.db.reload_index_mirrors(_index_segments(suffix))
 
     # -- logging core ------------------------------------------------------------------
 
@@ -246,6 +264,17 @@ class Transaction:
         )
 
     # -- ChangeSink: index component changes ------------------------------------------------------
+
+    def lock_component(self, address: EntityAddress) -> None:
+        """Settle the no-wait exclusive lock before a component mutates.
+
+        ``NodeStore`` calls this ahead of the physical write/free so a
+        refused lock (which aborts this transaction immediately) finds the
+        component untouched — at that point no UNDO record for the change
+        exists yet.
+        """
+        self._ensure_active()
+        self.lock_entity(address, LockMode.EXCLUSIVE)
 
     def index_node_written(
         self, address: EntityAddress, before: bytes | None, after: bytes

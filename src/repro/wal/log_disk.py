@@ -24,8 +24,14 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import LogError, LogWindowOverrunError
 from repro.common.types import NULL_LSN, PartitionAddress
-from repro.sim.chaos import crash_point, register_crash_point
+from repro.sim.chaos import (
+    crash_point,
+    fault_point,
+    register_crash_point,
+    register_fault_point,
+)
 from repro.sim.disk import DuplexedDisk
+from repro.sim.faults import RetryPolicy, TransientIOStats, run_with_retry
 
 register_crash_point(
     "log-disk.append.before-write",
@@ -34,6 +40,14 @@ register_crash_point(
 register_crash_point(
     "log-disk.append.after-write",
     "page durable on both spindles, window not yet advanced",
+)
+register_fault_point(
+    "log-disk.write",
+    "transient controller fault on a duplexed log-page write",
+)
+register_fault_point(
+    "log-disk.read",
+    "transient controller fault on a duplexed log-page read",
 )
 from repro.wal.records import (
     RedoRecord,
@@ -169,6 +183,7 @@ class LogDisk:
         window_pages: int,
         grace_pages: int,
         cache_pages: int = 128,
+        retry_policy: RetryPolicy | None = None,
     ):
         if window_pages <= grace_pages:
             raise ValueError("window must be larger than the grace period")
@@ -178,6 +193,11 @@ class LogDisk:
         self.window_pages = window_pages
         self.grace_pages = grace_pages
         self.archive = ArchiveStore()
+        #: Transient device faults are retried within this budget and
+        #: escalate to ``MediaFailure`` past it; counters land in
+        #: ``Database.stats()["transient_io"]["log"]``.
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.io_stats = TransientIOStats()
         self._next_lsn = 0
         self.pages_written = 0
         self.pages_read = 0
@@ -222,9 +242,7 @@ class LogDisk:
         with self._mutex:
             page.lsn = self._next_lsn
             self._next_lsn += 1
-            crash_point("log-disk.append.before-write")
-            self.disks.write_page(page.lsn, page.encode(), sibling=True)
-            crash_point("log-disk.append.after-write")
+            self._write_duplexed(page.lsn, page.encode())
             self.pages_written += 1
             self._reclaim_expired()
             return page.lsn
@@ -240,15 +258,29 @@ class LogDisk:
             lsn = self._next_lsn
             self._next_lsn += 1
             header = _PAGE_HEADER.pack(marker_segment, 0, lsn, 0, len(body))
-            # Same crash bracket as append_page: opaque pages share the LSN
-            # space and the duplexed write path, so the sweep exercises a
-            # crash on both sides of the write here too.
-            crash_point("log-disk.append.before-write")
-            self.disks.write_page(lsn, header + body, sibling=True)
-            crash_point("log-disk.append.after-write")
+            # Same crash bracket and retry path as append_page: opaque
+            # pages share the LSN space and the duplexed write path.
+            self._write_duplexed(lsn, header + body)
             self.pages_written += 1
             self._reclaim_expired()
             return lsn
+
+    def _write_duplexed(self, lsn: int, blob: bytes) -> None:
+        # caller holds self._mutex.  The fault hook and the primitive
+        # write share one lambda so the retry wrapper re-runs both; a
+        # fault past the budget escalates to MediaFailure.
+        crash_point("log-disk.append.before-write")
+        run_with_retry(
+            lambda: (
+                fault_point("log-disk.write"),
+                self.disks.write_page(lsn, blob, sibling=True),
+            ),
+            self.retry_policy,
+            self.io_stats,
+            "write",
+            f"log-disk write of page {lsn}",
+        )
+        crash_point("log-disk.append.after-write")
 
     def read_opaque_page(self, lsn: int, marker_segment: int) -> bytes:
         """Read back an opaque page's body, checking its marker."""
@@ -266,7 +298,7 @@ class LogDisk:
         archive (the paper's media-recovery path would do the same from
         tape)."""
         if self.disks.contains(lsn):
-            blob = self.disks.read_page(lsn, sibling=True)
+            blob = self._read_duplexed(lsn)
         elif lsn in self.archive:
             blob = self.archive.raw(lsn)
         else:
@@ -274,6 +306,18 @@ class LogDisk:
         with self._mutex:
             self.pages_read += 1
         return blob
+
+    def _read_duplexed(self, lsn: int) -> bytes:
+        return run_with_retry(
+            lambda: (
+                fault_point("log-disk.read"),
+                self.disks.read_page(lsn, sibling=True),
+            )[1],
+            self.retry_policy,
+            self.io_stats,
+            "read",
+            f"log-disk read of page {lsn}",
+        )
 
     def decode_blob(self, lsn: int, blob: bytes) -> LogPage:
         """Decode a fetched blob into a :class:`LogPage`, via the cache.
@@ -356,7 +400,7 @@ class LogDisk:
             # Verified duplex read: the archive must never inherit a
             # corrupt copy, and a bad primary must not stop archival
             # while the mirror still holds the page.
-            blob = self.disks.read_page(lsn, sibling=True)
+            blob = self._read_duplexed(lsn)
             self.archive.accept(lsn, blob)
             self.disks.free(lsn)
 

@@ -10,8 +10,11 @@ determinism invisibly.
 
 The rule: importing ``time``, ``random``, ``datetime`` or ``secrets`` is
 only allowed in :mod:`repro.sim.clock` (the one place wall-time could
-ever legitimately be bridged) and under ``repro.workloads`` (generators
-own their seeded ``random.Random`` instances).
+ever legitimately be bridged), under ``repro.workloads`` (generators own
+their seeded ``random.Random`` instances), and in the chaos/torture
+injection layer (:mod:`repro.sim.chaos`, :mod:`repro.sim.torture`),
+whose ``random.Random`` instances are seeded by the plan so every
+injection schedule replays from its printed seed.
 """
 
 from __future__ import annotations
@@ -22,7 +25,10 @@ from tools.repro_check.rules import rule
 from tools.repro_check.visitor import RuleVisitor
 
 _FORBIDDEN_MODULES = frozenset({"time", "random", "datetime", "secrets"})
-_ALLOWED = ("repro.sim.clock", "repro.workloads")
+_ALLOWED_EXACT = frozenset(
+    {"repro.sim.clock", "repro.sim.chaos", "repro.sim.torture"}
+)
+_ALLOWED_PREFIX = ("repro.workloads",)
 
 
 @rule
@@ -40,8 +46,8 @@ class DeterminismRule(RuleVisitor):
         if not source.module.startswith("repro."):
             return False
         return not (
-            source.module == _ALLOWED[0]
-            or source.module.startswith(_ALLOWED[1])
+            source.module in _ALLOWED_EXACT
+            or source.module.startswith(_ALLOWED_PREFIX)
         )
 
     def _flag(self, node: ast.AST, module: str) -> None:

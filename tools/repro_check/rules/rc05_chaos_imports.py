@@ -9,9 +9,10 @@ the cardinal sin of fault injection.
 
 The rule: modules under ``repro.`` (outside ``repro.sim`` itself) may
 import from :mod:`repro.sim.chaos` only the passive registry surface —
-``crash_point``, ``register_crash_point``, ``registered_crash_points``,
-``set_crash_point_observer`` — and may not import the module wholesale.
-Tests and tools are unrestricted.
+``crash_point`` / ``fault_point``, their ``register_*`` declarations,
+the ``registered_*`` enumerations, and ``set_crash_point_observer`` —
+and may not import the module wholesale.  Tests and tools are
+unrestricted.
 """
 
 from __future__ import annotations
@@ -26,6 +27,9 @@ ALLOWED_NAMES = frozenset(
         "crash_point",
         "register_crash_point",
         "registered_crash_points",
+        "fault_point",
+        "register_fault_point",
+        "registered_fault_points",
         "set_crash_point_observer",
     }
 )
