@@ -26,6 +26,7 @@ from repro.db.database import RecoveryMode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.database import Database
+    from repro.txn.transaction import Transaction
 
 
 class WholeDatabaseCheckpointer:
@@ -80,7 +81,7 @@ class WholeDatabaseCheckpointer:
             return segment_id
         return self.db.catalog.relation_of_segment(segment_id).segment_id
 
-    def _install(self, address, slot: int, txn) -> int | None:
+    def _install(self, address, slot: int, txn: "Transaction") -> int | None:
         db = self.db
         if address.segment == db.catalog.segment.segment_id:
             previous = db.catalog.own_partition_slots.get(address.partition)

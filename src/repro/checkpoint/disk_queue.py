@@ -65,8 +65,8 @@ class CheckpointDiskQueue:
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.io_stats = TransientIOStats()
         self.map_latch = Latch("checkpoint-disk-map")
-        self._occupied: set[int] = set()
-        self._head = 0
+        self._occupied: set[int] = set()  # guarded-by: _mutex
+        self._head = 0  # guarded-by: _mutex
         #: Guards the allocation map between restore workers (free /
         #: is_occupied) and checkpoint transactions (allocate).  Lock
         #: order: ``_mutex`` → ``map_latch``.

@@ -87,7 +87,7 @@ class Relation:
         with txn.statement():
             return self._insert_step(txn, row, descriptor, schema)
 
-    def _insert_step(self, txn, row, descriptor, schema) -> EntityAddress:
+    def _insert_step(self, txn: "Transaction", row, descriptor, schema) -> EntityAddress:
         partition = self._partition_for(txn, row)
         paddr = partition.address
         cells = []
@@ -144,7 +144,7 @@ class Relation:
             )
 
     def _update_step(
-        self, txn, address, changes, descriptor, schema, partition, paddr, before_row
+        self, txn: "Transaction", address, changes, descriptor, schema, partition, paddr, before_row
     ) -> None:
         data = partition.read(address.offset)
         cells = schema.decode_tuple(data)
@@ -200,7 +200,7 @@ class Relation:
             self._delete_step(txn, address, descriptor, schema, partition, paddr, row)
 
     def _delete_step(
-        self, txn, address, descriptor, schema, partition, paddr, row
+        self, txn: "Transaction", address, descriptor, schema, partition, paddr, row
     ) -> None:
         data = partition.read(address.offset)
         cells = schema.decode_tuple(data)

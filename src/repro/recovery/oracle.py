@@ -23,6 +23,7 @@ from repro.common.errors import RecoveryError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.database import Database
+    from repro.txn.transaction import Transaction
 
 
 def logical_digest(db: "Database") -> str:
@@ -72,7 +73,7 @@ class RecoveryVerifier:
         self.digests[db.slb.commits] = logical_digest(db)
         db.commit_observer = self._on_commit
 
-    def _on_commit(self, txn) -> None:
+    def _on_commit(self, txn: "Transaction") -> None:
         self.digests[self.db.slb.commits] = logical_digest(self.db)
 
     def detach(self) -> None:

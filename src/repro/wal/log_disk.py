@@ -141,7 +141,7 @@ class ArchiveStore:
     """Pages that slid out of the log window, 'rolled to tape'."""
 
     def __init__(self):
-        self._pages: dict[int, bytes] = {}
+        self._pages: dict[int, bytes] = {}  # guarded-by: _lock
         #: The recovery thread archives expired pages while restore
         #: workers read archived history concurrently.
         self._lock = threading.Lock()
@@ -210,7 +210,7 @@ class LogDisk:
         #: immutable once written (LSNs are never reused), so a cached
         #: decode stays valid until the page is dropped.  Leaf lock.
         self.cache_pages = cache_pages
-        self._page_cache: "OrderedDict[int, LogPage]" = OrderedDict()
+        self._page_cache: "OrderedDict[int, LogPage]" = OrderedDict()  # guarded-by: _cache_mutex
         self._cache_mutex = threading.Lock()
         self.cache_hits = 0
 
@@ -265,8 +265,8 @@ class LogDisk:
             self._reclaim_expired()
             return lsn
 
-    def _write_duplexed(self, lsn: int, blob: bytes) -> None:
-        # caller holds self._mutex.  The fault hook and the primitive
+    def _write_duplexed(self, lsn: int, blob: bytes) -> None:  # caller-holds: _mutex
+        # The fault hook and the primitive
         # write share one lambda so the retry wrapper re-runs both; a
         # fault past the budget escalates to MediaFailure.
         crash_point("log-disk.append.before-write")

@@ -81,11 +81,11 @@ class StableLogBuffer:
         self.stable = stable
         self.block_size = block_size
         self.block_latch = Latch("slb-block-free-list")
-        self._next_block_id = 1
-        self._uncommitted: dict[int, TransactionLogChain] = {}
+        self._next_block_id = 1  # guarded-by: _mutex
+        self._uncommitted: dict[int, TransactionLogChain] = {}  # guarded-by: _mutex
         #: Committed chains in commit order, awaiting the recovery CPU.
-        self._committed: list[TransactionLogChain] = []
-        self._well_known: dict[str, object] = {}
+        self._committed: list[TransactionLogChain] = []  # guarded-by: _mutex
+        self._well_known: dict[str, object] = {}  # guarded-by: _mutex
         self.stable.allocate("slb-well-known", WELL_KNOWN_RESERVE, self._well_known)
         #: Serialises the chain lists and statistics between the main
         #: CPU's transaction threads and the recovery thread's drain.
@@ -125,7 +125,7 @@ class StableLogBuffer:
             self.records_written += 1
             self.bytes_written += record.size_bytes
 
-    def _allocate_block(self, chain: TransactionLogChain) -> None:
+    def _allocate_block(self, chain: TransactionLogChain) -> None:  # caller-holds: _mutex
         # Block allocation is the one critical section of the log path.
         with self.block_latch.held_by(chain.txn_id):
             block_id = self._next_block_id
@@ -138,7 +138,7 @@ class StableLogBuffer:
             self._next_block_id += 1
             chain.blocks.append(_LogBlock(block_id))
 
-    def _require_open(self, txn_id: int) -> TransactionLogChain:
+    def _require_open(self, txn_id: int) -> TransactionLogChain:  # caller-holds: _mutex
         try:
             return self._uncommitted[txn_id]
         except KeyError:
@@ -250,7 +250,7 @@ class StableLogBuffer:
                 chain.append_to_current(record)
             self._committed.insert(0, chain)
 
-    def _retain_tail(self, chain: TransactionLogChain, tail: list[RedoRecord]) -> None:
+    def _retain_tail(self, chain: TransactionLogChain, tail: list[RedoRecord]) -> None:  # caller-holds: _mutex
         """Rebuild the head chain to contain only its undrained records."""
         self._free_chain(chain)
         chain.blocks = []

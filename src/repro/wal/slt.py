@@ -90,10 +90,10 @@ class StableLogTail:
         self.config = config
         self._bins: dict[int, PartitionBin] = {}
         self._by_partition: dict[PartitionAddress, int] = {}
-        self._next_bin_index = 0
+        self._next_bin_index = 0  # guarded-by: _mutex
         #: First-LSN min-heap with lazy invalidation: (first_lsn, bin_index).
-        self._first_lsn_heap: list[tuple[int, int]] = []
-        self._well_known: dict[str, object] = {}
+        self._first_lsn_heap: list[tuple[int, int]] = []  # guarded-by: _heap_mutex
+        self._well_known: dict[str, object] = {}  # guarded-by: _mutex
         self.stable.allocate("slt-well-known", 16 * 1024, self._well_known)
         #: Table mutex: guards only the bin *maps* (registration, drop,
         #: snapshots) and the well-known area.  Per-bin state is sharded

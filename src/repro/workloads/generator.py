@@ -16,6 +16,7 @@ from repro.workloads.distributions import UniformPicker, ZipfPicker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.database import Database
+    from repro.txn.transaction import Transaction
 
 
 @dataclass(frozen=True)
@@ -107,7 +108,7 @@ class MixedWorkload:
                 return name
         return weights[-1][0]
 
-    def _run_op(self, txn, op: str) -> None:
+    def _run_op(self, txn: "Transaction", op: str) -> None:
         if op == "insert" or (op != "lookup" and not self._live):
             key = self._next_key
             self._next_key += 1

@@ -2,7 +2,10 @@
 """RC01 good fixture: the write is bracketed by crash points."""
 
 from repro.common.checksum import seal_frame
-from repro.sim.chaos import crash_point
+from repro.sim.chaos import crash_point, register_crash_point
+
+register_crash_point("fixture.before-write")
+register_crash_point("fixture.after-write")
 
 
 class Writer:

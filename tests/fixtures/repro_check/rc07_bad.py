@@ -1,0 +1,13 @@
+# repro-check: module=repro.wal.fixture_bad
+"""RC07 bad fixture: a hook exists (RC01 is satisfied) but only on one
+branch, so the write is not dominated by it."""
+
+from repro.common.checksum import seal_frame
+from repro.sim.chaos import crash_point
+
+
+class Writer:
+    def flush(self, disk, lsn, payload, verbose):
+        if verbose:
+            crash_point("fixture.before-write")
+        disk.write_page(lsn, seal_frame(payload), sibling=True)

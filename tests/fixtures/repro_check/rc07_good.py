@@ -1,0 +1,15 @@
+# repro-check: module=repro.wal.fixture_good
+"""RC07 good fixture: the hook dominates the write on every path,
+including the conditional one."""
+
+from repro.common.checksum import seal_frame
+from repro.sim.chaos import crash_point, register_crash_point
+
+register_crash_point("fixture.flush")
+
+
+class Writer:
+    def flush(self, disk, lsn, payload, dirty):
+        crash_point("fixture.flush")
+        if dirty:
+            disk.write_page(lsn, seal_frame(payload), sibling=True)

@@ -1,0 +1,16 @@
+# repro-check: module=repro.storage.fixture_bad
+"""RC08 bad fixture: a guarded attribute is touched without its mutex."""
+
+import threading
+
+
+class Table:
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self._rows = []  # guarded-by: _mutex
+
+    def add(self, row):
+        self._rows.append(row)
+
+    def drain(self):
+        return list(self._rows)

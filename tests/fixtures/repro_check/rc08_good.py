@@ -1,0 +1,24 @@
+# repro-check: module=repro.storage.fixture_good
+"""RC08 good fixture: every guarded access holds the mutex, either
+directly or through a caller-holds contract."""
+
+import threading
+
+
+class Table:
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self._rows = []  # guarded-by: _mutex
+
+    def add(self, row):
+        with self._mutex:
+            self._rows.append(row)
+
+    def _drain_locked(self):  # caller-holds: _mutex
+        rows = list(self._rows)
+        self._rows = []
+        return rows
+
+    def drain(self):
+        with self._mutex:
+            return self._drain_locked()

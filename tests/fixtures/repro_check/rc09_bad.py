@@ -1,0 +1,20 @@
+# repro-check: module=repro.storage.fixture_bad
+"""RC09 bad fixture: two latches acquired in opposite orders."""
+
+from repro.concurrency.latch import Latch
+
+
+class Pair:
+    def __init__(self):
+        self._a = Latch("fixture-a")
+        self._b = Latch("fixture-b")
+
+    def forward(self, owner):
+        with self._a.held_by(owner):
+            with self._b.held_by(owner):
+                pass
+
+    def backward(self, owner):
+        with self._b.held_by(owner):
+            with self._a.held_by(owner):
+                pass

@@ -1,0 +1,20 @@
+# repro-check: module=repro.storage.fixture_good
+"""RC09 good fixture: both paths take the latches in the same order."""
+
+from repro.concurrency.latch import Latch
+
+
+class Pair:
+    def __init__(self):
+        self._a = Latch("fixture-a")
+        self._b = Latch("fixture-b")
+
+    def forward(self, owner):
+        with self._a.held_by(owner):
+            with self._b.held_by(owner):
+                pass
+
+    def also_forward(self, owner):
+        with self._a.held_by(owner):
+            with self._b.held_by(owner):
+                pass

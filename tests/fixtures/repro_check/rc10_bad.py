@@ -1,0 +1,12 @@
+# repro-check: module=repro.wal.fixture_bad
+"""RC10 bad fixture: registry drift in both directions — a stale
+registration, an unregistered hook, and an uncovered durable write."""
+
+from repro.sim.chaos import crash_point, register_crash_point
+
+register_crash_point("fixture.stale")
+
+
+def flush(disk, payload):
+    crash_point("fixture.unregistered")
+    disk.write_track(0, payload)

@@ -8,6 +8,7 @@ plugin turns such a report into a non-zero exit status.
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
@@ -254,6 +255,14 @@ class TestPytestPlugin:
             timeout=120,
         )
 
+    @staticmethod
+    def _empty_baseline(tmp_path: Path) -> Path:
+        """A baseline with no edges, so tests exercise the audit itself
+        rather than the committed edge set."""
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"edges": []}\n')
+        return baseline
+
     def test_cycle_fails_session_only_under_audit(self, tmp_path):
         (tmp_path / "test_cycle.py").write_text(self.CYCLE_TEST)
         clean = self._run(tmp_path)
@@ -272,5 +281,80 @@ class TestPytestPlugin:
             "def test_inverted_latch_order():",
         )
         (tmp_path / "test_cycle.py").write_text(marked)
-        audited = self._run(tmp_path, "--lock-audit")
+        audited = self._run(
+            tmp_path,
+            "--lock-audit",
+            f"--lock-audit-baseline={self._empty_baseline(tmp_path)}",
+        )
         assert audited.returncode == 0, audited.stdout + audited.stderr
+
+
+class TestBaselineGate:
+    """The observed edge set is diffed against a committed baseline, and
+    (optionally) checked for inclusion in the static lock-order graph."""
+
+    ORDERED_TEST = textwrap.dedent(
+        """
+        from repro.concurrency.latch import Latch
+
+        def test_one_direction_only():
+            a, b = Latch("gate-A"), Latch("gate-B")
+            with a.held_by(1), b.held_by(1):
+                pass
+        """
+    )
+
+    _run = TestPytestPlugin._run
+
+    def test_new_edge_fails_until_baseline_updated(self, tmp_path):
+        (tmp_path / "test_ordered.py").write_text(self.ORDERED_TEST)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"edges": []}\n')
+
+        gated = self._run(
+            tmp_path, "--lock-audit", f"--lock-audit-baseline={baseline}"
+        )
+        assert gated.returncode == 1, gated.stdout + gated.stderr
+        assert "new lock-order edges" in gated.stdout
+        assert "--lock-audit-update-baseline" in gated.stdout  # regen command
+
+        updated = self._run(
+            tmp_path,
+            "--lock-audit",
+            f"--lock-audit-baseline={baseline}",
+            "--lock-audit-update-baseline",
+        )
+        assert updated.returncode == 0, updated.stdout + updated.stderr
+        payload = json.loads(baseline.read_text())
+        assert {"held": "latch:gate-A", "acquired": "latch:gate-B"} in payload[
+            "edges"
+        ]
+
+        regated = self._run(
+            tmp_path, "--lock-audit", f"--lock-audit-baseline={baseline}"
+        )
+        assert regated.returncode == 0, regated.stdout + regated.stderr
+
+    def test_missing_baseline_fails(self, tmp_path):
+        (tmp_path / "test_ordered.py").write_text(self.ORDERED_TEST)
+        gone = tmp_path / "nope.json"
+        gated = self._run(
+            tmp_path, "--lock-audit", f"--lock-audit-baseline={gone}"
+        )
+        assert gated.returncode == 1, gated.stdout + gated.stderr
+        assert "missing" in gated.stdout
+
+    def test_static_check_catches_edges_the_analyzer_cannot_see(self, tmp_path):
+        """Latches constructed only inside a test file exist in no static
+        graph over src/, so their edge must trip the subset check."""
+        (tmp_path / "test_ordered.py").write_text(self.ORDERED_TEST)
+        baseline = tmp_path / "baseline.json"
+        checked = self._run(
+            tmp_path,
+            "--lock-audit",
+            f"--lock-audit-baseline={baseline}",
+            "--lock-audit-update-baseline",  # isolate the static failure
+            "--lock-audit-static-check",
+        )
+        assert checked.returncode == 1, checked.stdout + checked.stderr
+        assert "missing from the static lock-order graph" in checked.stdout

@@ -6,11 +6,12 @@ Exit status: 0 clean, 1 findings, 2 parse/usage errors.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from tools.repro_check.engine import run_paths
-from tools.repro_check.findings import render_json, render_text
+from tools.repro_check.engine import run
+from tools.repro_check.findings import render_json, render_sarif, render_text
 from tools.repro_check.rules import all_rules, get_rules
 
 
@@ -23,7 +24,7 @@ def main(argv: list[str] | None = None) -> int:
         "paths", nargs="*", default=["src"], help="files or directories (default: src)"
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="fmt"
+        "--format", choices=("text", "json", "sarif"), default="text", dest="fmt"
     )
     parser.add_argument(
         "--rules",
@@ -31,6 +32,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="describe every rule and exit"
+    )
+    parser.add_argument(
+        "--timing",
+        action="store_true",
+        help="measure per-rule wall clock (text: table on stderr; json: embedded)",
+    )
+    parser.add_argument(
+        "--lock-graph",
+        metavar="PATH",
+        help="write the static lock-order graph (RC09's input) as JSON",
     )
     args = parser.parse_args(argv)
 
@@ -50,13 +61,50 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro-check: {exc.args[0]}", file=sys.stderr)
         return 2
 
-    findings, errors = run_paths([Path(p) for p in args.paths], rules)
-    for error in errors:
+    result = run([Path(p) for p in args.paths], rules, timing=args.timing)
+    for error in result.errors:
         print(f"repro-check: parse error: {error}", file=sys.stderr)
-    print(render_json(findings) if args.fmt == "json" else render_text(findings))
-    if errors:
+
+    if args.lock_graph:
+        _write_lock_graph([Path(p) for p in args.paths], Path(args.lock_graph))
+
+    if args.fmt == "json":
+        print(render_json(result.findings, result.timings or None, result.flow_stats))
+    elif args.fmt == "sarif":
+        print(render_sarif(result.findings, rules if rules is not None else all_rules()))
+    else:
+        print(render_text(result.findings))
+        if args.timing:
+            total = sum(result.timings.values())
+            for label, seconds in sorted(
+                result.timings.items(), key=lambda kv: -kv[1]
+            ):
+                print(f"repro-check: timing {label:12s} {seconds:8.3f}s", file=sys.stderr)
+            print(f"repro-check: timing {'total':12s} {total:8.3f}s", file=sys.stderr)
+
+    if result.errors:
         return 2
-    return 1 if findings else 0
+    return 1 if result.findings else 0
+
+
+def _write_lock_graph(paths: list[Path], out: Path) -> None:
+    """Export the static lock-order graph for the analyzed tree."""
+    from tools.repro_check.engine import SourceFile, discover
+    from tools.repro_check.flow.project import FlowProject
+    from tools.repro_check.rules.rc09_lock_order import build_lock_order_graph
+
+    sources = []
+    for path in discover(paths):
+        try:
+            sources.append(SourceFile.parse(path))
+        except (SyntaxError, UnicodeDecodeError):
+            continue
+    graph = build_lock_order_graph(FlowProject(sources))
+    out.write_text(json.dumps(graph.to_payload(), indent=2) + "\n", encoding="utf-8")
+    print(
+        f"repro-check: lock-order graph ({len(graph.edges)} edges) -> {out}",
+        file=sys.stderr,
+    )
 
 
 if __name__ == "__main__":

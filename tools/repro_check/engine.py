@@ -127,24 +127,84 @@ def check_source(source: SourceFile, rules: list) -> list[Finding]:
     return findings
 
 
+@dataclass
+class RunResult:
+    """Outcome of one analysis run."""
+
+    findings: list[Finding]
+    #: Files that could not be parsed (reported, never silently skipped).
+    errors: list[str]
+    #: Stage/rule label -> wall-clock seconds (populated when timed).
+    timings: dict[str, float] = field(default_factory=dict)
+    #: Call-resolution counters from the flow project, when one was built.
+    flow_stats: dict[str, int] = field(default_factory=dict)
+
+
+def run(
+    paths: list[Path], rules: list | None = None, *, timing: bool = False
+) -> RunResult:
+    """Check every file under ``paths`` with both per-file rules and
+    whole-program :class:`~tools.repro_check.flow.project.ProjectRule`
+    rules; the latter see one FlowProject built from every parsed file.
+    """
+    import time
+
+    from tools.repro_check.rules import all_rules
+
+    selected = rules if rules is not None else all_rules()
+    file_rules = [r for r in selected if not getattr(r, "requires_project", False)]
+    project_rules = [r for r in selected if getattr(r, "requires_project", False)]
+
+    result = RunResult(findings=[], errors=[])
+    rule_clock: dict[str, float] = {}
+    sources: list[SourceFile] = []
+    for path in discover(paths):
+        try:
+            sources.append(SourceFile.parse(path))
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            result.errors.append(f"{path}: {exc}")
+
+    for source in sources:
+        for rule_cls in file_rules:
+            start = time.perf_counter() if timing else 0.0
+            result.findings.extend(
+                f for f in rule_cls.run(source) if not source.suppressed(f)
+            )
+            if timing:
+                rule_clock[rule_cls.rule_id] = rule_clock.get(
+                    rule_cls.rule_id, 0.0
+                ) + (time.perf_counter() - start)
+
+    if project_rules and sources:
+        from tools.repro_check.flow.project import FlowProject
+
+        start = time.perf_counter() if timing else 0.0
+        project = FlowProject(sources)
+        if timing:
+            rule_clock["flow-build"] = time.perf_counter() - start
+        by_path = {str(s.path): s for s in sources}
+        for rule_cls in project_rules:
+            start = time.perf_counter() if timing else 0.0
+            for finding in rule_cls.run_project(project):
+                source = by_path.get(finding.path)
+                if source is None or not source.suppressed(finding):
+                    result.findings.append(finding)
+            if timing:
+                rule_clock[rule_cls.rule_id] = time.perf_counter() - start
+        result.flow_stats = dict(project.stats)
+
+    if timing:
+        result.timings = {k: rule_clock[k] for k in sorted(rule_clock)}
+    return result
+
+
 def run_paths(
     paths: list[Path], rules: list | None = None
 ) -> tuple[list[Finding], list[str]]:
-    """Check every file under ``paths``.
+    """Back-compat wrapper around :func:`run`.
 
     Returns ``(findings, errors)`` where errors are files that could not
     be parsed (reported, never silently skipped).
     """
-    from tools.repro_check.rules import all_rules
-
-    selected = rules if rules is not None else all_rules()
-    findings: list[Finding] = []
-    errors: list[str] = []
-    for path in discover(paths):
-        try:
-            source = SourceFile.parse(path)
-        except (SyntaxError, UnicodeDecodeError) as exc:
-            errors.append(f"{path}: {exc}")
-            continue
-        findings.extend(check_source(source, selected))
-    return findings, errors
+    result = run(paths, rules)
+    return result.findings, result.errors

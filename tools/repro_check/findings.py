@@ -2,12 +2,15 @@
 
 A finding is one rule violation at one source location.  The text
 renderer mimics the familiar ``path:line:col: CODE message`` compiler
-shape so editors can jump to it; the JSON renderer is for CI tooling.
+shape so editors can jump to it; the JSON renderer is for CI tooling;
+the SARIF renderer feeds GitHub code scanning so findings annotate PR
+diffs.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass
 
 
@@ -33,14 +36,85 @@ def render_text(findings: list[Finding]) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: list[Finding]) -> str:
+def render_json(
+    findings: list[Finding],
+    timings: dict[str, float] | None = None,
+    flow_stats: dict[str, int] | None = None,
+) -> str:
+    payload: dict = {
+        "findings": [
+            asdict(f)
+            for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+        ],
+        "count": len(findings),
+    }
+    if timings is not None:
+        payload["timings_seconds"] = {k: round(v, 4) for k, v in timings.items()}
+    if flow_stats:
+        payload["flow_stats"] = flow_stats
+    return json.dumps(payload, indent=2)
+
+
+def _sarif_uri(path: str) -> str:
+    """Repo-relative forward-slash URI (GitHub code scanning wants paths
+    relative to the checkout root)."""
+    rel = os.path.relpath(path)
+    if not rel.startswith(".."):
+        path = rel
+    return path.replace(os.sep, "/")
+
+
+def render_sarif(findings: list[Finding], rules: list[type]) -> str:
+    """SARIF 2.1.0, one run, one result per finding."""
+    reported = {f.rule for f in findings}
+    driver_rules = [
+        {
+            "id": rule_cls.rule_id,
+            "name": rule_cls.__name__,
+            "shortDescription": {"text": rule_cls.title},
+            "fullDescription": {"text": rule_cls.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_cls in rules
+        if getattr(rule_cls, "rule_id", "")
+    ]
+    known = {r["id"] for r in driver_rules}
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _sarif_uri(f.path)},
+                        "region": {"startLine": f.line, "startColumn": f.col},
+                    }
+                }
+            ],
+        }
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+        if f.rule in known or f.rule in reported
+    ]
     return json.dumps(
         {
-            "findings": [
-                asdict(f)
-                for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-check",
+                            "informationUri": "docs/STATIC_ANALYSIS.md",
+                            "rules": driver_rules,
+                        }
+                    },
+                    "results": results,
+                }
             ],
-            "count": len(findings),
         },
         indent=2,
     )

@@ -1,0 +1,48 @@
+"""Whole-program flow analysis for repro-check.
+
+PR 2's rules are per-function AST patterns; the paper's §2 protocol
+orderings (log record before durable mutation, checkpointer under the
+relation read lock, a total latch order) are *whole-program* properties.
+This package supplies the three layers the flow-sensitive rules
+(RC07–RC10) are built on:
+
+* :mod:`~tools.repro_check.flow.cfg` — a per-function control-flow graph
+  with classical dominator computation, so "X happens before Y on every
+  path" becomes a dominance query instead of a nearby-lines heuristic;
+* :mod:`~tools.repro_check.flow.project` — a project-wide symbol index
+  and call graph with the attribute/name resolution this codebase's
+  ``self._mutex`` / module-function style actually needs (constructor
+  attribute types, annotated parameters and returns, one level of
+  ``self.attr.method`` field typing);
+* :mod:`~tools.repro_check.flow.locks` — a lock-context lattice that
+  tracks which ``with self._mutex`` / latch / sticky 2PL contexts are
+  held at each statement, the ``# guarded-by:`` / ``# caller-holds:``
+  annotation vocabulary, and the static lock-order graph that the
+  dynamic ``--lock-audit`` edge set is cross-checked against.
+
+The analysis is deliberately *best-effort but honest*: anything it
+cannot resolve is recorded as unresolved (and surfaced in the project
+stats) rather than silently guessed, so the rules can choose
+conservative behaviour per check.
+"""
+
+from tools.repro_check.flow.cfg import CFG, CfgNode
+from tools.repro_check.flow.locks import LockModel, LockOrderGraph, tarjan_sccs
+from tools.repro_check.flow.project import (
+    ClassInfo,
+    FlowProject,
+    FunctionInfo,
+    ProjectRule,
+)
+
+__all__ = [
+    "CFG",
+    "CfgNode",
+    "ClassInfo",
+    "FlowProject",
+    "FunctionInfo",
+    "LockModel",
+    "LockOrderGraph",
+    "ProjectRule",
+    "tarjan_sccs",
+]

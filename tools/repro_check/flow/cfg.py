@@ -1,0 +1,288 @@
+"""Per-function control-flow graphs with dominator computation.
+
+The CFG is statement-granular: each simple statement and each compound
+statement *header* (the ``if`` test, the ``while`` test, the ``with``
+items, …) is one node; compound bodies are flattened recursively.  Calls
+buried inside lambdas are attributed to the enclosing statement — the
+codebase wraps durable writes as ``run_with_retry(lambda: (fault_point(
+...), disks.write_page(...)))`` and the retry lambda runs (at least
+once) when the statement runs, so statement granularity is the honest
+level for "happens before on every path" questions.
+
+Exceptional control flow is modelled conservatively for dominance: every
+statement inside a ``try`` body may branch to every handler, ``raise``
+and ``return`` jump to the synthetic exit, and statements after a jump
+are unreachable (and excluded from dominance queries, which treat them
+as vacuously dominated).  This can only *weaken* dominance — it never
+invents a "happens before" guarantee that a real execution could break.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterator
+
+
+class CfgNode:
+    """One CFG node: a statement (or a synthetic entry/exit marker)."""
+
+    __slots__ = ("stmt", "succs", "preds", "index")
+
+    def __init__(self, stmt: ast.stmt | None, index: int) -> None:
+        self.stmt = stmt
+        self.index = index
+        self.succs: list[CfgNode] = []
+        self.preds: list[CfgNode] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.stmt is None:
+            return f"<cfg #{self.index} entry/exit>"
+        return f"<cfg #{self.index} {type(self.stmt).__name__} L{self.stmt.lineno}>"
+
+
+def header_exprs(stmt: ast.stmt) -> Iterator[ast.expr]:
+    """Yield the expression subtrees that belong to *stmt* itself.
+
+    For compound statements this is only the header (test / iterable /
+    context managers); nested statement bodies are separate CFG nodes.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        yield stmt.test
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield stmt.target
+        yield stmt.iter
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield item.context_expr
+            if item.optional_vars is not None:
+                yield item.optional_vars
+    elif isinstance(stmt, ast.Match):
+        yield stmt.subject
+    elif isinstance(stmt, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return
+    else:
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                yield child
+
+
+def stmt_contains(stmt: ast.stmt, pred: Callable[[ast.AST], bool]) -> bool:
+    """True if any expression belonging to *stmt* (lambdas included,
+    nested ``def``/``class`` excluded) satisfies *pred*."""
+    for expr in header_exprs(stmt):
+        for node in ast.walk(expr):
+            if pred(node):
+                return True
+    return False
+
+
+class _Loop:
+    __slots__ = ("header", "breaks")
+
+    def __init__(self, header: CfgNode) -> None:
+        self.header = header
+        self.breaks: list[CfgNode] = []
+
+
+class CFG:
+    """Control-flow graph of one function body, with dominators."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        self.nodes: list[CfgNode] = []
+        self.entry = self._new(None)
+        self.exit = self._new(None)
+        self._node_of: dict[ast.stmt, CfgNode] = {}
+        self._containing: dict[ast.expr, CfgNode] | None = None
+        self._dominators: dict[CfgNode, set[CfgNode]] | None = None
+        frontier = self._build_block(func.body, [self.entry], [])
+        for node in frontier:
+            self._link(node, self.exit)
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def _new(self, stmt: ast.stmt | None) -> CfgNode:
+        node = CfgNode(stmt, len(self.nodes))
+        self.nodes.append(node)
+        return node
+
+    @staticmethod
+    def _link(src: CfgNode, dst: CfgNode) -> None:
+        if dst not in src.succs:
+            src.succs.append(dst)
+            dst.preds.append(src)
+
+    def _build_block(
+        self,
+        stmts: list[ast.stmt],
+        preds: list[CfgNode],
+        loops: list[_Loop],
+    ) -> list[CfgNode]:
+        """Wire *stmts* after *preds*; return the block's exit frontier."""
+        for stmt in stmts:
+            node = self._new(stmt)
+            self._node_of[stmt] = node
+            for p in preds:
+                self._link(p, node)
+            preds = self._build_stmt(stmt, node, loops)
+        return preds
+
+    def _build_stmt(
+        self, stmt: ast.stmt, node: CfgNode, loops: list[_Loop]
+    ) -> list[CfgNode]:
+        if isinstance(stmt, ast.If):
+            then_exits = self._build_block(stmt.body, [node], loops)
+            if stmt.orelse:
+                else_exits = self._build_block(stmt.orelse, [node], loops)
+            else:
+                else_exits = [node]
+            return then_exits + else_exits
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            loop = _Loop(node)
+            body_exits = self._build_block(stmt.body, [node], loops + [loop])
+            for tail in body_exits:
+                self._link(tail, node)
+            after: list[CfgNode] = [node]
+            if stmt.orelse:
+                after = self._build_block(stmt.orelse, [node], loops)
+            return after + loop.breaks
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_block(stmt.body, [node], loops)
+
+        if isinstance(stmt, ast.Try):
+            body_start = len(self.nodes)
+            body_exits = self._build_block(stmt.body, [node], loops)
+            body_nodes = self.nodes[body_start:]
+            handler_exits: list[CfgNode] = []
+            for handler in stmt.handlers:
+                # Any statement in the try body (or the header itself, if
+                # e.g. the context is empty) may raise into the handler.
+                handler_exits += self._build_block(
+                    handler.body, body_nodes + [node], loops
+                )
+            if stmt.orelse:
+                body_exits = self._build_block(stmt.orelse, body_exits, loops)
+            exits = body_exits + handler_exits
+            if stmt.finalbody:
+                exits = self._build_block(stmt.finalbody, exits, loops)
+            return exits
+
+        if isinstance(stmt, ast.Match):
+            case_exits: list[CfgNode] = [node]  # no case may match
+            for case in stmt.cases:
+                case_exits += self._build_block(case.body, [node], loops)
+            return case_exits
+
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._link(node, self.exit)
+            return []
+
+        if isinstance(stmt, ast.Break):
+            if loops:
+                loops[-1].breaks.append(node)
+            return []
+
+        if isinstance(stmt, ast.Continue):
+            if loops:
+                self._link(node, loops[-1].header)
+            return []
+
+        # Simple statements and nested def/class fall through linearly.
+        return [node]
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def node_for(self, stmt: ast.stmt) -> CfgNode | None:
+        return self._node_of.get(stmt)
+
+    @property
+    def containing(self) -> dict[ast.expr, CfgNode]:
+        """Map every expression node (lambdas' bodies included) to the
+        CFG node of the statement it executes under."""
+        if self._containing is None:
+            table: dict[ast.expr, CfgNode] = {}
+            for node in self.nodes:
+                if node.stmt is None:
+                    continue
+                for expr in header_exprs(node.stmt):
+                    for sub in ast.walk(expr):
+                        if isinstance(sub, ast.expr):
+                            table[sub] = node
+            self._containing = table
+        return self._containing
+
+    def dominators(self) -> dict[CfgNode, set[CfgNode]]:
+        """Classical iterative dominator sets over reachable nodes.
+
+        Unreachable nodes are absent from the result; callers should
+        treat them as vacuously dominated (no execution reaches them).
+        """
+        if self._dominators is not None:
+            return self._dominators
+
+        order = self._reverse_postorder()
+        reachable = set(order)
+        dom: dict[CfgNode, set[CfgNode]] = {self.entry: {self.entry}}
+        for node in order:
+            if node is not self.entry:
+                dom[node] = reachable
+        changed = True
+        while changed:
+            changed = False
+            for node in order:
+                if node is self.entry:
+                    continue
+                preds = [p for p in node.preds if p in dom]
+                if not preds:
+                    continue
+                new = set.intersection(*(dom[p] for p in preds))
+                new = new | {node}
+                if new != dom[node]:
+                    dom[node] = new
+                    changed = True
+        self._dominators = dom
+        return dom
+
+    def _reverse_postorder(self) -> list[CfgNode]:
+        seen: set[CfgNode] = set()
+        post: list[CfgNode] = []
+        stack: list[tuple[CfgNode, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        while stack:
+            node, i = stack[-1]
+            if i < len(node.succs):
+                stack[-1] = (node, i + 1)
+                succ = node.succs[i]
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, 0))
+            else:
+                stack.pop()
+                post.append(node)
+        post.reverse()
+        return post
+
+    def dominated_by(
+        self, stmt: ast.stmt, pred: Callable[[ast.stmt], bool], *, inclusive: bool = True
+    ) -> bool:
+        """True if every path from entry to *stmt* passes a statement
+        satisfying *pred* (or *stmt* itself satisfies it, when
+        *inclusive*).  Unreachable statements are vacuously dominated."""
+        node = self._node_of.get(stmt)
+        if node is None:
+            return False
+        dom = self.dominators()
+        if node not in dom:
+            return True
+        for d in dom[node]:
+            if d.stmt is None:
+                continue
+            if not inclusive and d is node:
+                continue
+            if pred(d.stmt):
+                return True
+        return False

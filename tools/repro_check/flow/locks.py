@@ -1,0 +1,380 @@
+"""Lock-context lattice and the static lock-order graph.
+
+Node vocabulary (shared with the dynamic audit, see
+``repro.concurrency.audit``):
+
+* ``latch:<name>`` — a :class:`repro.concurrency.latch.Latch`, named by
+  the literal string passed to its constructor;
+* ``mutex:<class-qname>.<attr>`` — a ``threading.Lock``/``RLock``
+  attribute (module-level locks use ``mutex:<module>.<name>``);
+* ``relation:*`` — any relation-granularity 2PL lock.  Static analysis
+  cannot know segment ids, so all relation locks collapse onto one
+  node; the dynamic audit's ``relation:<seg>`` nodes are normalised the
+  same way before the subset comparison.
+
+Held contexts are tracked per statement by a lexical walk: ``with``
+blocks scope their locks to the body, explicit ``.acquire()`` /
+``.release()`` pairs (the try/finally idiom) toggle membership
+linearly, and a ``lock_relation(...)`` call makes ``relation:*``
+*sticky* for the rest of the function — the engine's 2PL holds locks to
+commit, so there is no release edge to model.
+
+The static order graph then contains an edge ``A → B`` whenever B is
+acquired (directly, or transitively through a resolved call chain)
+while A is held.  Self-edges are recorded but marked re-entrant and
+excluded from cycle detection: RLock re-entry and same-class different
+-instance acquisition (per-partition bins) are legitimate and
+statically indistinguishable from real self-deadlock.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from tools.repro_check.flow.project import FlowProject, FunctionInfo, LockDecl
+
+#: The collapsed 2PL node (see module docstring).
+RELATION_NODE = "relation:*"
+
+
+def normalize_dynamic_node(node: str) -> str:
+    """Map a dynamic-audit node onto the static vocabulary
+    (``relation:17`` → ``relation:*``; latches pass through)."""
+    if node.startswith("relation:"):
+        return RELATION_NODE
+    return node
+
+
+@dataclass
+class OrderEdge:
+    held: str
+    acquired: str
+    witnesses: list[str] = field(default_factory=list)
+
+    @property
+    def reentrant(self) -> bool:
+        return self.held == self.acquired
+
+
+@dataclass
+class LockOrderGraph:
+    """The static nested-acquisition graph."""
+
+    edges: dict[tuple[str, str], OrderEdge] = field(default_factory=dict)
+
+    def add(self, held: str, acquired: str, witness: str) -> None:
+        edge = self.edges.get((held, acquired))
+        if edge is None:
+            edge = OrderEdge(held, acquired)
+            self.edges[(held, acquired)] = edge
+        if witness not in edge.witnesses and len(edge.witnesses) < 5:
+            edge.witnesses.append(witness)
+
+    def nodes(self) -> list[str]:
+        names = {e.held for e in self.edges.values()}
+        names.update(e.acquired for e in self.edges.values())
+        return sorted(names)
+
+    def edge_set(self) -> set[tuple[str, str]]:
+        return set(self.edges)
+
+    def cycles(self) -> list[list[str]]:
+        """Non-trivial strongly connected components, re-entrant
+        self-edges excluded (see module docstring)."""
+        adjacency: dict[str, set[str]] = {}
+        for held, acquired in self.edges:
+            if held == acquired:
+                continue
+            adjacency.setdefault(held, set()).add(acquired)
+            adjacency.setdefault(acquired, set())
+        return [scc for scc in tarjan_sccs(adjacency) if len(scc) > 1]
+
+    def to_payload(self) -> dict:
+        return {
+            "nodes": self.nodes(),
+            "edges": [
+                {
+                    "held": edge.held,
+                    "acquired": edge.acquired,
+                    "reentrant": edge.reentrant,
+                    "witnesses": edge.witnesses,
+                }
+                for (_, _), edge in sorted(self.edges.items())
+            ],
+            "cycles": self.cycles(),
+        }
+
+
+def tarjan_sccs(adjacency: dict[str, set[str]]) -> list[list[str]]:
+    """Iterative Tarjan strongly-connected components."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    for root in sorted(adjacency):
+        if root in index:
+            continue
+        work: list[tuple[str, Iterator[str]]] = [
+            (root, iter(sorted(adjacency.get(root, ()))))
+        ]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = low[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(adjacency.get(child, ())))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(scc))
+    return sccs
+
+
+@dataclass
+class _FunctionFlow:
+    """Per-function lock-flow facts, cached by :class:`LockModel`."""
+
+    #: statement -> locks held when the statement begins executing.
+    held_at: dict[ast.stmt, frozenset[str]]
+    #: (stmt, acquired node, held-at-acquisition) events in source order.
+    acquisitions: list[tuple[ast.stmt, str, frozenset[str]]]
+
+
+class LockModel:
+    """Held-lock computation and the static order graph over a project."""
+
+    def __init__(self, project: FlowProject):
+        self.project = project
+        self._flows: dict[str, _FunctionFlow] = {}
+        self._transitive: dict[str, frozenset[str]] | None = None
+        self._graph: LockOrderGraph | None = None
+
+    # ------------------------------------------------------------------
+    # resolving lock expressions
+
+    def lock_node_for(self, expr: ast.expr, fn: FunctionInfo) -> str | None:
+        """The lock node a context-manager / acquire-target expression
+        denotes, or None if it is not a resolvable lock."""
+        # latch.held_by(owner) wraps the latch in a guard object.
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr == "held_by"
+        ):
+            return self.lock_node_for(expr.func.value, fn)
+        decl = self._decl_for(expr, fn)
+        return decl.node_name if decl else None
+
+    def _decl_for(self, expr: ast.expr, fn: FunctionInfo) -> LockDecl | None:
+        if isinstance(expr, ast.Attribute):
+            owner = self.project.infer_expr(expr.value, fn)
+            if owner is not None:
+                return owner.find_lock(expr.attr)
+            return None
+        if isinstance(expr, ast.Name):
+            return self.project.module_locks.get(f"{fn.module}.{expr.id}")
+        return None
+
+    def entry_holds(self, fn: FunctionInfo) -> frozenset[str]:
+        """Locks a ``# caller-holds:`` annotation promises are held on
+        entry (unresolvable names are RC08's problem, not ours)."""
+        nodes: set[str] = set()
+        for name in fn.caller_holds:
+            decl = self._named_lock(fn, name)
+            if decl is not None:
+                nodes.add(decl.node_name)
+            elif name == "relation":
+                nodes.add(RELATION_NODE)
+        return frozenset(nodes)
+
+    def _named_lock(self, fn: FunctionInfo, name: str) -> LockDecl | None:
+        if fn.cls is not None:
+            decl = fn.cls.find_lock(name)
+            if decl is not None:
+                return decl
+        return self.project.module_locks.get(f"{fn.module}.{name}")
+
+    # ------------------------------------------------------------------
+    # per-function flow
+
+    def flow(self, fn: FunctionInfo) -> _FunctionFlow:
+        cached = self._flows.get(fn.qname)
+        if cached is not None:
+            return cached
+        held_at: dict[ast.stmt, frozenset[str]] = {}
+        acquisitions: list[tuple[ast.stmt, str, frozenset[str]]] = []
+        # Locks acquired without `with` scoping: explicit .acquire() and
+        # the sticky 2PL relation lock.  Shared across the whole walk.
+        linear: set[str] = set(self.entry_holds(fn))
+
+        def scan_linear_effects(stmt: ast.stmt, held: frozenset[str]) -> None:
+            from tools.repro_check.flow.cfg import header_exprs
+
+            for expr in header_exprs(stmt):
+                for node in ast.walk(expr):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    if self._is_relation_acquire(node):
+                        if RELATION_NODE not in linear:
+                            acquisitions.append((stmt, RELATION_NODE, held))
+                        linear.add(RELATION_NODE)
+                        continue
+                    if not isinstance(node.func, ast.Attribute):
+                        continue
+                    if node.func.attr in ("acquire", "release"):
+                        lock = self.lock_node_for(node.func.value, fn)
+                        if lock is None:
+                            continue
+                        if node.func.attr == "acquire":
+                            acquisitions.append((stmt, lock, held))
+                            linear.add(lock)
+                        else:
+                            linear.discard(lock)
+
+        def walk(stmts: list[ast.stmt], scoped: frozenset[str]) -> None:
+            for stmt in stmts:
+                held = frozenset(scoped | linear)
+                held_at[stmt] = held
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    inner = set(scoped)
+                    for item in stmt.items:
+                        lock = self.lock_node_for(item.context_expr, fn)
+                        if lock is not None:
+                            acquisitions.append(
+                                (stmt, lock, frozenset(inner | linear))
+                            )
+                            inner.add(lock)
+                    scan_linear_effects(stmt, held)
+                    walk(stmt.body, frozenset(inner))
+                    continue
+                scan_linear_effects(stmt, held)
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                for block in ("body", "orelse", "finalbody"):
+                    inner_stmts = getattr(stmt, block, [])
+                    if inner_stmts:
+                        walk(inner_stmts, scoped)
+                for handler in getattr(stmt, "handlers", []):
+                    walk(handler.body, scoped)
+                for case in getattr(stmt, "cases", []):
+                    walk(case.body, scoped)
+
+        walk(fn.node.body, frozenset())
+        result = _FunctionFlow(held_at, acquisitions)
+        self._flows[fn.qname] = result
+        return result
+
+    @staticmethod
+    def _is_relation_acquire(call: ast.Call) -> bool:
+        """A call that takes (or forwards toward) a relation 2PL lock:
+        ``lock_relation(...)`` by name, or ``lock(("rel", ...), ...)``."""
+        func = call.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "lock_relation":
+            return True
+        if name in ("lock", "acquire"):
+            for arg in call.args:
+                if (
+                    isinstance(arg, ast.Tuple)
+                    and arg.elts
+                    and isinstance(arg.elts[0], ast.Constant)
+                    and arg.elts[0].value == "rel"
+                ):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # interprocedural acquisition sets
+
+    def direct_acquires(self, fn: FunctionInfo) -> set[str]:
+        return {node for (_, node, _) in self.flow(fn).acquisitions}
+
+    def transitive_acquires(self) -> dict[str, frozenset[str]]:
+        """Fixpoint: locks each function may acquire directly or through
+        any resolved callee (recursion converges naturally)."""
+        if self._transitive is not None:
+            return self._transitive
+        project = self.project
+        acquires: dict[str, set[str]] = {
+            qname: self.direct_acquires(fn)
+            for qname, fn in project.functions.items()
+        }
+        callees: dict[str, list[str]] = {}
+        for qname, fn in project.functions.items():
+            callees[qname] = [
+                site.target.qname
+                for site in project.call_sites(fn)
+                if site.target is not None
+            ]
+        changed = True
+        while changed:
+            changed = False
+            for qname, targets in callees.items():
+                bucket = acquires[qname]
+                before = len(bucket)
+                for target in targets:
+                    bucket |= acquires.get(target, set())
+                if len(bucket) != before:
+                    changed = True
+        self._transitive = {q: frozenset(s) for q, s in acquires.items()}
+        return self._transitive
+
+    # ------------------------------------------------------------------
+    # the static order graph
+
+    def order_graph(self) -> LockOrderGraph:
+        if self._graph is not None:
+            return self._graph
+        graph = LockOrderGraph()
+        transitive = self.transitive_acquires()
+        for fn in self.project.functions.values():
+            flow = self.flow(fn)
+            where = f"{fn.qname} ({fn.source.path.name})"
+            for stmt, node, held in flow.acquisitions:
+                for h in sorted(held):
+                    graph.add(h, node, f"{where}:{stmt.lineno}")
+            for site in self.project.call_sites(fn):
+                if site.target is None or site.stmt is None:
+                    continue
+                held = flow.held_at.get(site.stmt)
+                if not held:
+                    continue
+                for node in sorted(transitive.get(site.target.qname, ())):
+                    for h in sorted(held):
+                        graph.add(h, node, f"{where}:{site.call.lineno}")
+        self._graph = graph
+        return graph

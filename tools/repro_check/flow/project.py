@@ -1,0 +1,779 @@
+"""Project-wide symbol index, type inference, and call graph.
+
+The resolution strategy is tuned to this codebase's idioms rather than
+full Python semantics:
+
+* classes and functions are indexed from module top level (methods one
+  level down); imports build a per-module symbol table, including
+  relative ``from . import x`` forms;
+* attribute types come from ``__init__``-style ``self.x = Cls(...)``
+  assignments, annotated parameters (``self.x = db`` with ``db:
+  Database``), dataclass-style class-body annotations, and property
+  return annotations;
+* lock declarations are recognised from ``threading.Lock()`` /
+  ``threading.RLock()`` constructor calls (or annotations, for
+  dataclass ``field(default_factory=threading.RLock)``) and from
+  ``Latch("name")`` constructor calls with a literal name;
+* expression types follow ``self`` / annotated locals / ``x =
+  self.attr`` chains and call returns with annotated return types.
+
+Everything else is *unresolved* and counted in :attr:`FlowProject.stats`
+so the analyzer's blind spots stay visible.  The dynamic-audit subset
+cross-check (see ``docs/STATIC_ANALYSIS.md``) is the safety net: if
+resolution ever loses an edge the runtime actually takes, CI fails.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from tools.repro_check.engine import SourceFile
+from tools.repro_check.findings import Finding
+from tools.repro_check.flow.cfg import CFG
+
+_GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_]\w*(?:\s*,\s*[A-Za-z_]\w*)*)")
+_CALLER_HOLDS_RE = re.compile(
+    r"#\s*caller-holds:\s*([A-Za-z_]\w*(?:\s*,\s*[A-Za-z_]\w*)*)"
+)
+
+#: Constructor names that create a plain mutual-exclusion lock.
+_MUTEX_CTORS = {"threading.Lock", "threading.RLock"}
+
+
+@dataclass(frozen=True)
+class LockDecl:
+    """A statically declared lock: a mutex attribute or a named latch."""
+
+    kind: str  #: ``"mutex"`` or ``"latch"``
+    owner: str  #: owning class qname (or module name for module-level locks)
+    attr: str
+    latch_name: str | None = None
+    line: int = 0
+
+    @property
+    def node_name(self) -> str:
+        """Graph node identity.  Latches use their runtime name so the
+        static graph speaks the same vocabulary as the dynamic audit."""
+        if self.kind == "latch" and self.latch_name:
+            return f"latch:{self.latch_name}"
+        return f"mutex:{self.owner}.{self.attr}"
+
+
+@dataclass
+class FunctionInfo:
+    """One indexed function or method."""
+
+    qname: str
+    module: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    source: SourceFile
+    cls: "ClassInfo | None" = None
+    #: Raw dotted name of the return annotation (resolved lazily).
+    returns: str | None = None
+    #: Lock attribute names from a ``# caller-holds:`` annotation.
+    caller_holds: tuple[str, ...] = ()
+    is_property: bool = False
+
+    @property
+    def is_public(self) -> bool:
+        return not self.name.startswith("_") or (
+            self.name.startswith("__") and self.name.endswith("__")
+        )
+
+
+@dataclass
+class ClassInfo:
+    """One indexed class."""
+
+    qname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    source: SourceFile
+    base_names: list[str] = field(default_factory=list)
+    bases: list["ClassInfo"] = field(default_factory=list)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: attribute name -> class qname of its value (best effort).
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: attribute name -> declared lock.
+    locks: dict[str, LockDecl] = field(default_factory=dict)
+    #: guarded attribute name -> (guard lock-attr names, declaring line).
+    guarded: dict[str, tuple[tuple[str, ...], int]] = field(default_factory=dict)
+
+    def find_method(self, name: str) -> FunctionInfo | None:
+        if name in self.methods:
+            return self.methods[name]
+        for base in self.bases:
+            found = base.find_method(name)
+            if found is not None:
+                return found
+        return None
+
+    def find_attr_type(self, name: str) -> str | None:
+        if name in self.attr_types:
+            return self.attr_types[name]
+        for base in self.bases:
+            found = base.find_attr_type(name)
+            if found is not None:
+                return found
+        return None
+
+    def find_lock(self, name: str) -> LockDecl | None:
+        if name in self.locks:
+            return self.locks[name]
+        for base in self.bases:
+            found = base.find_lock(name)
+            if found is not None:
+                return found
+        return None
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function, with its resolution."""
+
+    caller: FunctionInfo
+    call: ast.Call
+    stmt: ast.stmt | None
+    #: Resolved project target (the ``__init__`` for constructor calls).
+    target: FunctionInfo | None
+    #: Constructed class, when the call is ``Cls(...)``.
+    constructed: "ClassInfo | None"
+    #: Dotted name for calls into non-project modules (``threading.Lock``).
+    external: str | None
+    #: Why resolution failed, when it did (for stats/diagnostics).
+    unresolved_reason: str | None
+
+
+_Symbol = Union["ClassInfo", FunctionInfo, tuple[str, str]]
+# tuple forms: ("module", dotted) for project/stdlib modules,
+#              ("external", dotted) for names imported from outside.
+
+
+def annotation_name(node: ast.expr | None) -> str | None:
+    """Best-effort dotted name of a type annotation (handles string
+    annotations, ``Optional[X]``, and ``X | None``)."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.strip()
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = annotation_name(node.value)
+        return f"{base}.{node.attr}" if base else None
+    if isinstance(node, ast.Subscript):
+        outer = annotation_name(node.value)
+        if outer in ("Optional", "typing.Optional") and isinstance(
+            node.slice, (ast.Name, ast.Attribute, ast.Constant)
+        ):
+            return annotation_name(node.slice)
+        return outer
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        for side in (node.left, node.right):
+            name = annotation_name(side)
+            if name not in (None, "None"):
+                return name
+    return None
+
+
+def iter_statements(stmts: list[ast.stmt]) -> Iterator[ast.stmt]:
+    """All statements in source order, without entering nested defs."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for block in ("body", "orelse", "finalbody"):
+            yield from iter_statements(getattr(stmt, block, []))
+        for handler in getattr(stmt, "handlers", []):
+            yield from iter_statements(handler.body)
+        for case in getattr(stmt, "cases", []):
+            yield from iter_statements(case.body)
+
+
+def _marker_lines(text: str, regex: re.Pattern[str]) -> dict[int, tuple[str, ...]]:
+    table: dict[int, tuple[str, ...]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = regex.search(line)
+        if match:
+            table[lineno] = tuple(
+                name.strip() for name in match.group(1).split(",") if name.strip()
+            )
+    return table
+
+
+class FlowProject:
+    """The whole-program index: modules, classes, call graph, CFGs."""
+
+    def __init__(self, sources: list[SourceFile]):
+        self.sources = sources
+        self.modules: dict[str, SourceFile] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.module_locks: dict[str, LockDecl] = {}  # qname -> decl
+        self._imports: dict[str, dict[str, str]] = {}  # module -> name -> dotted
+        self._toplevel: dict[str, dict[str, _Symbol]] = {}
+        self.stats: dict[str, int] = {"calls_resolved": 0, "calls_unresolved": 0}
+        self._cfgs: dict[str, CFG] = {}
+        self._locals: dict[str, dict[str, str]] = {}
+        self._callsites: dict[str, list[CallSite]] = {}
+        self._method_refs: dict[str, list[FunctionInfo]] = {}
+        self._callers: dict[str, list[CallSite]] | None = None
+        self._guard_comments: dict[str, dict[int, tuple[str, ...]]] = {}
+        self._index()
+        self._link()
+
+    # ------------------------------------------------------------------
+    # pass 1: declarations and imports
+
+    def _index(self) -> None:
+        for source in self.sources:
+            module = source.module
+            self.modules[module] = source
+            imports: dict[str, str] = {}
+            top: dict[str, _Symbol] = {}
+            self._imports[module] = imports
+            self._toplevel[module] = top
+            self._guard_comments[module] = _marker_lines(source.text, _GUARDED_BY_RE)
+            holds = _marker_lines(source.text, _CALLER_HOLDS_RE)
+            self._scan_imports(source.tree.body, module, imports)
+            for stmt in source.tree.body:
+                if isinstance(stmt, ast.ClassDef):
+                    info = ClassInfo(
+                        qname=f"{module}.{stmt.name}",
+                        module=module,
+                        name=stmt.name,
+                        node=stmt,
+                        source=source,
+                        base_names=[
+                            n for n in (annotation_name(b) for b in stmt.bases) if n
+                        ],
+                    )
+                    self.classes[info.qname] = info
+                    top[stmt.name] = info
+                    for item in stmt.body:
+                        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                            fn = self._function_info(item, source, holds, cls=info)
+                            info.methods[item.name] = fn
+                            self.functions[fn.qname] = fn
+                elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    fn = self._function_info(stmt, source, holds, cls=None)
+                    top[stmt.name] = fn
+                    self.functions[fn.qname] = fn
+
+    def _scan_imports(
+        self, stmts: list[ast.stmt], module: str, imports: dict[str, str]
+    ) -> None:
+        """Collect import bindings, descending into top-level ``if``
+        (``TYPE_CHECKING`` guards) and ``try`` (fallback-import) blocks."""
+        for stmt in stmts:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    imports[name] = target
+            elif isinstance(stmt, ast.ImportFrom):
+                base = self._resolve_from(module, stmt)
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    imports[alias.asname or alias.name] = f"{base}.{alias.name}"
+            elif isinstance(stmt, ast.If):
+                self._scan_imports(stmt.body, module, imports)
+                self._scan_imports(stmt.orelse, module, imports)
+            elif isinstance(stmt, ast.Try):
+                self._scan_imports(stmt.body, module, imports)
+                for handler in stmt.handlers:
+                    self._scan_imports(handler.body, module, imports)
+
+    @staticmethod
+    def _resolve_from(module: str, stmt: ast.ImportFrom) -> str:
+        if not stmt.level:
+            return stmt.module or ""
+        parts = module.split(".")
+        # level=1 strips the module's own name; each extra level one parent.
+        base = parts[: len(parts) - stmt.level]
+        if stmt.module:
+            base.append(stmt.module)
+        return ".".join(base)
+
+    def _function_info(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        source: SourceFile,
+        holds: dict[int, tuple[str, ...]],
+        cls: ClassInfo | None,
+    ) -> FunctionInfo:
+        owner = f"{cls.qname}." if cls else f"{source.module}."
+        first_body = node.body[0].lineno if node.body else node.lineno
+        caller_holds: tuple[str, ...] = ()
+        for lineno in range(node.lineno, first_body + 1):
+            if lineno in holds:
+                caller_holds = holds[lineno]
+                break
+        is_property = any(
+            isinstance(d, ast.Name)
+            and d.id in ("property", "cached_property")
+            or isinstance(d, ast.Attribute)
+            and d.attr in ("property", "cached_property")
+            for d in node.decorator_list
+        )
+        return FunctionInfo(
+            qname=f"{owner}{node.name}",
+            module=source.module,
+            name=node.name,
+            node=node,
+            source=source,
+            cls=cls,
+            returns=annotation_name(node.returns),
+            caller_holds=caller_holds,
+            is_property=is_property,
+        )
+
+    # ------------------------------------------------------------------
+    # pass 2: base classes, attribute types, locks, guards
+
+    def _link(self) -> None:
+        for info in self.classes.values():
+            for base_name in info.base_names:
+                resolved = self._lookup(info.module, base_name)
+                if isinstance(resolved, ClassInfo):
+                    info.bases.append(resolved)
+        for info in self.classes.values():
+            self._harvest_class(info)
+        for module, source in self.modules.items():
+            for stmt in source.tree.body:
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target = stmt.targets[0]
+                    if isinstance(target, ast.Name):
+                        decl = self._lock_from_value(
+                            stmt.value, module, module, target.id
+                        )
+                        if decl:
+                            self.module_locks[f"{module}.{target.id}"] = decl
+
+    def _harvest_class(self, info: ClassInfo) -> None:
+        guards = self._guard_comments.get(info.module, {})
+
+        def note_guard(attr: str, line: int) -> None:
+            names = guards.get(line)
+            if names and attr not in info.guarded:
+                info.guarded[attr] = (names, line)
+
+        for item in info.node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                attr = item.target.id
+                note_guard(attr, item.lineno)
+                ann = annotation_name(item.annotation)
+                if ann and self._dotted(info.module, ann) in _MUTEX_CTORS:
+                    info.locks.setdefault(
+                        attr, LockDecl("mutex", info.qname, attr, line=item.lineno)
+                    )
+                    continue
+                resolved = self._lookup(info.module, ann) if ann else None
+                if isinstance(resolved, ClassInfo):
+                    info.attr_types.setdefault(attr, resolved.qname)
+            elif isinstance(item, ast.Assign) and len(item.targets) == 1:
+                target = item.targets[0]
+                if isinstance(target, ast.Name):
+                    note_guard(target.id, item.lineno)
+                    decl = self._lock_from_value(
+                        item.value, info.module, info.qname, target.id
+                    )
+                    if decl:
+                        info.locks.setdefault(target.id, decl)
+
+        # __init__ first, then every other method, so the constructor's
+        # declaration wins when an attribute is reassigned later.
+        methods = sorted(info.methods.values(), key=lambda m: m.name != "__init__")
+        for method in methods:
+            param_types = self._param_annotations(method)
+            for stmt in iter_statements(method.node.body):
+                targets: list[ast.expr] = []
+                value: ast.expr | None = None
+                if isinstance(stmt, ast.Assign):
+                    targets, value = stmt.targets, stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    targets, value = [stmt.target], stmt.value
+                for target in targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    attr = target.attr
+                    note_guard(attr, stmt.lineno)
+                    if isinstance(stmt, ast.AnnAssign):
+                        ann = annotation_name(stmt.annotation)
+                        resolved = self._lookup(info.module, ann) if ann else None
+                        if isinstance(resolved, ClassInfo):
+                            info.attr_types.setdefault(attr, resolved.qname)
+                    if value is None:
+                        continue
+                    decl = self._lock_from_value(
+                        value, info.module, info.qname, attr
+                    )
+                    if decl:
+                        info.locks.setdefault(attr, decl)
+                        continue
+                    if isinstance(value, ast.Call):
+                        resolved = self._resolve_call_target(value, method, {})
+                        if isinstance(resolved, ClassInfo):
+                            info.attr_types.setdefault(attr, resolved.qname)
+                    elif isinstance(value, ast.Name) and value.id in param_types:
+                        info.attr_types.setdefault(attr, param_types[value.id])
+
+    def _param_annotations(self, fn: FunctionInfo) -> dict[str, str]:
+        types: dict[str, str] = {}
+        args = fn.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            ann = annotation_name(arg.annotation)
+            resolved = self._lookup(fn.module, ann) if ann else None
+            if isinstance(resolved, ClassInfo):
+                types[arg.arg] = resolved.qname
+        return types
+
+    def _lock_from_value(
+        self, value: ast.expr, module: str, owner: str, attr: str
+    ) -> LockDecl | None:
+        if not isinstance(value, ast.Call):
+            return None
+        dotted = self._call_dotted(value, module)
+        if dotted in _MUTEX_CTORS:
+            return LockDecl("mutex", owner, attr, line=value.lineno)
+        if dotted and (dotted == "Latch" or dotted.endswith(".Latch")):
+            name = None
+            if value.args and isinstance(value.args[0], ast.Constant):
+                if isinstance(value.args[0].value, str):
+                    name = value.args[0].value
+            return LockDecl("latch", owner, attr, latch_name=name, line=value.lineno)
+        return None
+
+    def _call_dotted(self, call: ast.Call, module: str) -> str | None:
+        """Dotted form of a call's callee, import-resolved (for matching
+        against things like ``threading.Lock``)."""
+        name = annotation_name(call.func) if isinstance(
+            call.func, (ast.Name, ast.Attribute)
+        ) else None
+        return self._dotted(module, name) if name else None
+
+    def _dotted(self, module: str, name: str) -> str:
+        head, _, rest = name.partition(".")
+        imports = self._imports.get(module, {})
+        if head in imports:
+            resolved = imports[head]
+            return f"{resolved}.{rest}" if rest else resolved
+        return name
+
+    # ------------------------------------------------------------------
+    # symbol and type resolution
+
+    def _lookup(self, module: str, name: str) -> _Symbol | None:
+        """Resolve a (possibly dotted) name in *module*'s namespace."""
+        head, _, rest = name.partition(".")
+        top = self._toplevel.get(module, {})
+        sym: _Symbol | None = top.get(head)
+        if sym is None:
+            imports = self._imports.get(module, {})
+            if head in imports:
+                sym = self._global_symbol(imports[head])
+            elif head == module.rsplit(".", 1)[-1]:
+                sym = ("module", module)
+        while sym is not None and rest:
+            head, _, rest = rest.partition(".")
+            if isinstance(sym, tuple) and sym[0] == "module":
+                inner = self._toplevel.get(sym[1], {}).get(head)
+                sym = inner if inner is not None else self._global_symbol(
+                    f"{sym[1]}.{head}"
+                )
+            else:
+                return None
+        return sym
+
+    def _global_symbol(self, dotted: str) -> _Symbol:
+        if dotted in self.classes:
+            return self.classes[dotted]
+        if dotted in self.functions:
+            return self.functions[dotted]
+        if dotted in self.modules:
+            return ("module", dotted)
+        # Walk up: "repro.wal.slb.StableLogBuffer" when imported as module attr.
+        parent, _, leaf = dotted.rpartition(".")
+        if parent in self.modules:
+            sym = self._toplevel.get(parent, {}).get(leaf)
+            if sym is not None:
+                return sym
+        return ("external", dotted)
+
+    def class_by_qname(self, qname: str | None) -> ClassInfo | None:
+        return self.classes.get(qname) if qname else None
+
+    def local_types(self, fn: FunctionInfo) -> dict[str, str]:
+        """Local variable name -> class qname, from annotations and
+        simple in-order assignment inference."""
+        cached = self._locals.get(fn.qname)
+        if cached is not None:
+            return cached
+        types = self._param_annotations(fn)
+        self._locals[fn.qname] = types  # publish early: recursion guard
+        for stmt in iter_statements(fn.node.body):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+                if isinstance(target, ast.Name):
+                    ann = annotation_name(stmt.annotation)
+                    resolved = self._lookup(fn.module, ann) if ann else None
+                    if isinstance(resolved, ClassInfo):
+                        types[target.id] = resolved.qname
+                        continue
+            if isinstance(target, ast.Name) and value is not None:
+                inferred = self.infer_expr(value, fn, types)
+                if inferred is not None:
+                    types[target.id] = inferred.qname
+        return types
+
+    def infer_expr(
+        self,
+        expr: ast.expr,
+        fn: FunctionInfo,
+        local_types: dict[str, str] | None = None,
+    ) -> ClassInfo | None:
+        """The class an expression evaluates to an instance of, or None."""
+        if local_types is None:
+            local_types = self.local_types(fn)
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and fn.cls is not None:
+                return fn.cls
+            return self.class_by_qname(local_types.get(expr.id))
+        if isinstance(expr, ast.Attribute):
+            base = self.infer_expr(expr.value, fn, local_types)
+            if base is not None:
+                qname = base.find_attr_type(expr.attr)
+                if qname:
+                    return self.class_by_qname(qname)
+                prop = base.find_method(expr.attr)
+                if prop is not None and prop.is_property and prop.returns:
+                    resolved = self._lookup(prop.module, prop.returns)
+                    if isinstance(resolved, ClassInfo):
+                        return resolved
+            return None
+        if isinstance(expr, ast.Call):
+            target = self._resolve_call_target(expr, fn, local_types)
+            if isinstance(target, ClassInfo):
+                return target
+            if isinstance(target, FunctionInfo) and target.returns:
+                resolved = self._lookup(target.module, target.returns)
+                if isinstance(resolved, ClassInfo):
+                    return resolved
+            return None
+        if isinstance(expr, ast.Await):
+            return self.infer_expr(expr.value, fn, local_types)
+        return None
+
+    def _resolve_call_target(
+        self,
+        call: ast.Call,
+        fn: FunctionInfo,
+        local_types: dict[str, str] | None,
+    ) -> FunctionInfo | ClassInfo | tuple[str, str] | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            sym = self._lookup(fn.module, func.id)
+            if isinstance(sym, (ClassInfo, FunctionInfo)):
+                return sym
+            if isinstance(sym, tuple) and sym[0] == "external":
+                return sym
+            return None
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, (ast.Name, ast.Attribute)):
+                name = annotation_name(func.value)
+                if name is not None:
+                    sym = self._lookup(fn.module, name)
+                    if isinstance(sym, tuple) and sym[0] == "module":
+                        inner = self._toplevel.get(sym[1], {}).get(func.attr)
+                        if isinstance(inner, (ClassInfo, FunctionInfo)):
+                            return inner
+                        return ("external", f"{sym[1]}.{func.attr}")
+                    if isinstance(sym, tuple) and sym[0] == "external":
+                        return ("external", f"{sym[1]}.{func.attr}")
+            owner = self.infer_expr(func.value, fn, local_types)
+            if owner is not None:
+                method = owner.find_method(func.attr)
+                if method is not None:
+                    return method
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    # call graph
+
+    def cfg(self, fn: FunctionInfo) -> CFG:
+        cached = self._cfgs.get(fn.qname)
+        if cached is None:
+            cached = CFG(fn.node)
+            self._cfgs[fn.qname] = cached
+        return cached
+
+    def call_sites(self, fn: FunctionInfo) -> list[CallSite]:
+        cached = self._callsites.get(fn.qname)
+        if cached is not None:
+            return cached
+        sites: list[CallSite] = []
+        refs: list[FunctionInfo] = []
+        containing = self.cfg(fn).containing
+        local_types = self.local_types(fn)
+        call_funcs: set[int] = set()
+        calls: list[ast.Call] = []
+        for expr in containing:
+            if isinstance(expr, ast.Call):
+                calls.append(expr)
+                call_funcs.add(id(expr.func))
+        for expr, node in containing.items():
+            # Bare method/function references (callbacks such as
+            # ``target=self._run``) keep their targets reachable.
+            if id(expr) in call_funcs:
+                continue
+            ref = self._reference_target(expr, fn, local_types)
+            if ref is not None:
+                refs.append(ref)
+        for call in calls:
+            target = self._resolve_call_target(call, fn, local_types)
+            site = CallSite(
+                caller=fn,
+                call=call,
+                stmt=containing[call].stmt if call in containing else None,
+                target=None,
+                constructed=None,
+                external=None,
+                unresolved_reason=None,
+            )
+            if isinstance(target, FunctionInfo):
+                site.target = target
+            elif isinstance(target, ClassInfo):
+                site.constructed = target
+                site.target = target.find_method("__init__")
+            elif isinstance(target, tuple):
+                site.external = target[1]
+            else:
+                site.unresolved_reason = ast.dump(call.func)[:60]
+            if site.target or site.constructed or site.external:
+                self.stats["calls_resolved"] += 1
+            else:
+                self.stats["calls_unresolved"] += 1
+            sites.append(site)
+        self._callsites[fn.qname] = sites
+        self._method_refs[fn.qname] = refs
+        return sites
+
+    def _reference_target(
+        self,
+        expr: ast.expr,
+        fn: FunctionInfo,
+        local_types: dict[str, str],
+    ) -> FunctionInfo | None:
+        if isinstance(expr, ast.Attribute):
+            owner = self.infer_expr(expr.value, fn, local_types)
+            if owner is not None:
+                method = owner.find_method(expr.attr)
+                if method is not None and not method.is_property:
+                    return method
+        elif isinstance(expr, ast.Name):
+            sym = self._toplevel.get(fn.module, {}).get(expr.id)
+            if isinstance(sym, FunctionInfo):
+                return sym
+        return None
+
+    def method_refs(self, fn: FunctionInfo) -> list[FunctionInfo]:
+        self.call_sites(fn)
+        return self._method_refs.get(fn.qname, [])
+
+    def callers(self, fn: FunctionInfo) -> list[CallSite]:
+        """Every resolved call site targeting *fn*, project-wide."""
+        if self._callers is None:
+            table: dict[str, list[CallSite]] = {}
+            for other in list(self.functions.values()):
+                for site in self.call_sites(other):
+                    if site.target is not None:
+                        table.setdefault(site.target.qname, []).append(site)
+            self._callers = table
+        return self._callers.get(fn.qname, [])
+
+    # ------------------------------------------------------------------
+    # reachability
+
+    def public_roots(self) -> list[FunctionInfo]:
+        """Entry points a caller outside the project could reach: public
+        module-level functions and public methods (dunders included)."""
+        return [fn for fn in self.functions.values() if fn.is_public]
+
+    def reachable_functions(
+        self, roots: list[FunctionInfo] | None = None
+    ) -> set[str]:
+        """Qnames of every function reachable from *roots* (default: the
+        public entry points) through resolved calls, constructor edges,
+        and bare method references (callbacks)."""
+        if roots is None:
+            roots = self.public_roots()
+        seen: set[str] = set()
+        stack = list(roots)
+        while stack:
+            fn = stack.pop()
+            if fn.qname in seen:
+                continue
+            seen.add(fn.qname)
+            for site in self.call_sites(fn):
+                if site.target is not None and site.target.qname not in seen:
+                    stack.append(site.target)
+            for ref in self.method_refs(fn):
+                if ref.qname not in seen:
+                    stack.append(ref)
+        return seen
+
+
+class ProjectRule:
+    """Base class for whole-program rules (RC07–RC10).
+
+    Unlike :class:`~tools.repro_check.visitor.RuleVisitor`, which the
+    engine runs once per file, a ``ProjectRule`` runs once per
+    invocation against the :class:`FlowProject` built from every parsed
+    file; the engine applies per-file suppressions to its findings
+    afterwards.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+    #: Signals the engine to route this rule through the project pass.
+    requires_project: bool = True
+
+    def __init__(self, project: FlowProject):
+        self.project = project
+        self.findings: list[Finding] = []
+
+    def add(self, source: SourceFile, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule=self.rule_id,
+                path=str(source.path),
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+            )
+        )
+
+    def check(self) -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def run_project(cls, project: FlowProject) -> list[Finding]:
+        rule = cls(project)
+        rule.check()
+        return rule.findings

@@ -1,19 +1,21 @@
 """Rule registry.
 
-Every rule module registers its visitor class with the :func:`rule`
-decorator at import time; importing this package loads all of them.
+Every rule module registers its class with the :func:`rule` decorator at
+import time; importing this package loads all of them.  Two rule shapes
+coexist: per-file :class:`~tools.repro_check.visitor.RuleVisitor`
+subclasses (RC01–RC06) and whole-program
+:class:`~tools.repro_check.flow.project.ProjectRule` subclasses
+(RC07–RC10), distinguished by their ``requires_project`` attribute.
 """
 
 from __future__ import annotations
 
-from tools.repro_check.visitor import RuleVisitor
-
-_REGISTRY: dict[str, type[RuleVisitor]] = {}
+_REGISTRY: dict[str, type] = {}
 
 
-def rule(cls: type[RuleVisitor]) -> type[RuleVisitor]:
+def rule(cls: type) -> type:
     """Class decorator: register a rule under its ``rule_id``."""
-    if not cls.rule_id:
+    if not getattr(cls, "rule_id", ""):
         raise ValueError(f"{cls.__name__} has no rule_id")
     if cls.rule_id in _REGISTRY:
         raise ValueError(f"duplicate rule id {cls.rule_id}")
@@ -21,11 +23,11 @@ def rule(cls: type[RuleVisitor]) -> type[RuleVisitor]:
     return cls
 
 
-def all_rules() -> list[type[RuleVisitor]]:
+def all_rules() -> list[type]:
     return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
 
 
-def get_rules(rule_ids: list[str]) -> list[type[RuleVisitor]]:
+def get_rules(rule_ids: list[str]) -> list[type]:
     missing = [r for r in rule_ids if r not in _REGISTRY]
     if missing:
         known = ", ".join(sorted(_REGISTRY))
@@ -41,4 +43,8 @@ from tools.repro_check.rules import (  # noqa: E402,F401
     rc04_exception_hygiene,
     rc05_chaos_imports,
     rc06_lock_discipline,
+    rc07_wal_order,
+    rc08_guarded_by,
+    rc09_lock_order,
+    rc10_point_liveness,
 )

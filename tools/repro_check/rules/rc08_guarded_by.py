@@ -1,0 +1,172 @@
+"""RC08 — ``# guarded-by:`` attribute contracts, checked flow-sensitively.
+
+Paper grounding: the engine's shared mutable state (SLB free list, log
+tail bins, checkpoint disk map, …) is protected by a documented lock
+per structure — section 2.2's stable-memory interlocks and the
+latch-discipline of section 2.5.  Comments saying "callers must hold
+the mutex" rot; this rule makes the contract machine-checked:
+
+* ``self.attr = ... # guarded-by: _mutex`` declares that every read or
+  write of ``attr`` (outside ``__init__``) must happen while the named
+  lock attribute of the same class is held;
+* ``# caller-holds: _mutex`` on a ``def`` line states the function's
+  precondition instead of acquiring — accesses inside it count as
+  guarded, and the obligation moves to every resolved call site, where
+  it is checked against the caller's own held set.
+
+Held sets come from the flow lattice (``with`` scoping, try/finally
+acquire/release, sticky 2PL); a guard name that does not resolve to a
+declared lock is itself a finding, so the vocabulary cannot drift.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repro_check.flow.locks import LockModel
+from tools.repro_check.flow.project import ClassInfo, FunctionInfo, ProjectRule
+from tools.repro_check.rules import rule
+
+
+@rule
+class GuardedByRule(ProjectRule):
+    rule_id = "RC08"
+    title = "guarded-by attribute contracts hold at every access"
+    rationale = (
+        "Sections 2.2/2.5: each shared structure names the lock that "
+        "protects it; the annotation makes the contract explicit and "
+        "this rule proves every access (and every caller-holds call "
+        "site) actually holds it."
+    )
+
+    def check(self) -> None:
+        self.locks = LockModel(self.project)
+        guard_nodes = self._resolve_guards()
+        if guard_nodes:
+            for fn in self.project.functions.values():
+                if not fn.module.startswith("repro."):
+                    continue
+                self._check_accesses(fn, guard_nodes)
+        self._check_caller_holds_sites()
+
+    # ------------------------------------------------------------------
+
+    def _resolve_guards(self) -> dict[tuple[str, str], frozenset[str]]:
+        """(class qname, attr) -> required lock nodes; flags unknown
+        guard names at the declaration site."""
+        table: dict[tuple[str, str], frozenset[str]] = {}
+        for cls in self.project.classes.values():
+            if not cls.module.startswith("repro."):
+                continue
+            for attr, (names, line) in cls.guarded.items():
+                nodes: set[str] = set()
+                ok = True
+                for name in names:
+                    decl = cls.find_lock(name)
+                    if decl is None:
+                        marker = ast.Name(id=name)
+                        marker.lineno = line
+                        marker.col_offset = 0
+                        self.add(
+                            cls.source,
+                            marker,
+                            f"guarded-by names '{name}' on {cls.name}.{attr}, "
+                            f"but {cls.name} declares no such lock attribute",
+                        )
+                        ok = False
+                    else:
+                        nodes.add(decl.node_name)
+                if ok and nodes:
+                    table[(cls.qname, attr)] = frozenset(nodes)
+        return table
+
+    def _check_accesses(
+        self, fn: FunctionInfo, guard_nodes: dict[tuple[str, str], frozenset[str]]
+    ) -> None:
+        if fn.name == "__init__":
+            return  # the object is not shared yet
+        flow = self.locks.flow(fn)
+        containing = self.project.cfg(fn).containing
+        reported: set[tuple[int, str]] = set()
+        for expr, node in containing.items():
+            if not isinstance(expr, ast.Attribute) or node.stmt is None:
+                continue
+            owner = self._owner_class(expr, fn)
+            if owner is None:
+                continue
+            required = self._required(owner, expr.attr, guard_nodes)
+            if required is None:
+                continue
+            held = flow.held_at.get(node.stmt, frozenset())
+            missing = required - held
+            if not missing:
+                continue
+            key = (expr.lineno, expr.attr)
+            if key in reported:
+                continue
+            reported.add(key)
+            self.add(
+                fn.source,
+                expr,
+                f"access to {owner.name}.{expr.attr} (guarded-by "
+                f"{', '.join(sorted(missing))}) without holding it in "
+                f"{fn.name}(); acquire the lock or declare "
+                f"# caller-holds: on the function",
+            )
+
+    def _owner_class(self, expr: ast.Attribute, fn: FunctionInfo) -> ClassInfo | None:
+        return self.project.infer_expr(expr.value, fn)
+
+    def _required(
+        self,
+        owner: ClassInfo,
+        attr: str,
+        guard_nodes: dict[tuple[str, str], frozenset[str]],
+    ) -> frozenset[str] | None:
+        cls: ClassInfo | None = owner
+        seen: set[str] = set()
+        stack = [owner]
+        while stack:
+            cls = stack.pop()
+            if cls.qname in seen:
+                continue
+            seen.add(cls.qname)
+            required = guard_nodes.get((cls.qname, attr))
+            if required is not None:
+                return required
+            stack.extend(cls.bases)
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _check_caller_holds_sites(self) -> None:
+        for fn in self.project.functions.values():
+            if not fn.caller_holds or not fn.module.startswith("repro."):
+                continue
+            required = set()
+            for name in fn.caller_holds:
+                decl = self.locks._named_lock(fn, name)
+                if decl is None and name != "relation":
+                    self.add(
+                        fn.source,
+                        fn.node,
+                        f"caller-holds names '{name}' on {fn.name}(), but no "
+                        f"such lock attribute is declared in scope",
+                    )
+            required = self.locks.entry_holds(fn)
+            if not required:
+                continue
+            for site in self.project.callers(fn):
+                if site.stmt is None:
+                    continue
+                caller_flow = self.locks.flow(site.caller)
+                held = caller_flow.held_at.get(site.stmt, frozenset())
+                missing = required - held
+                if missing:
+                    self.add(
+                        site.caller.source,
+                        site.call,
+                        f"call to {fn.name}() (caller-holds "
+                        f"{', '.join(sorted(missing))}) from "
+                        f"{site.caller.name}() without holding it",
+                    )

@@ -1,0 +1,86 @@
+"""RC09 — the static lock-order graph must be acyclic.
+
+Paper grounding: section 2.5's latch discipline (and the documented
+mutex → latch → stable-memory order in the SLB/SLT) is what makes the
+engine deadlock-free; the dynamic ``--lock-audit`` proves it for the
+orderings the tier-1 suite happens to execute.  This rule extracts
+*every* nested-acquisition pair reachable through the resolved call
+graph — ``with`` nesting, acquisitions inside callees while a lock is
+held at the call site, sticky 2PL relation locks — and Tarjan-checks
+the whole graph for cycles.
+
+Self-edges (RLock re-entry; same-attribute different-instance bins) are
+recorded in the graph but excluded from cycle detection: they are
+legitimate and statically indistinguishable from self-deadlock.  The
+graph itself is exported via ``python -m tools.repro_check
+--lock-graph`` and is the reference set for the dynamic-audit subset
+cross-check.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repro_check.flow.locks import LockModel, LockOrderGraph
+from tools.repro_check.flow.project import FlowProject, ProjectRule
+from tools.repro_check.rules import rule
+
+
+def build_lock_order_graph(project: FlowProject) -> LockOrderGraph:
+    """The static nested-acquisition graph for *project* (shared entry
+    point for the rule, the CLI exporter, and the pytest plugin)."""
+    return LockModel(project).order_graph()
+
+
+@rule
+class LockOrderRule(ProjectRule):
+    rule_id = "RC09"
+    title = "static lock-order graph must be cycle-free"
+    rationale = (
+        "Section 2.5: a total acquisition order is the deadlock-freedom "
+        "argument; the static graph proves it for every path the call "
+        "graph can resolve, not just the paths tier-1 executes."
+    )
+
+    def check(self) -> None:
+        graph = build_lock_order_graph(self.project)
+        for cycle in graph.cycles():
+            witness_edges = [
+                edge
+                for (held, acquired), edge in sorted(graph.edges.items())
+                if held in cycle and acquired in cycle and held != acquired
+            ]
+            where = witness_edges[0].witnesses[0] if witness_edges else None
+            source, node = self._locate(where)
+            if source is None:
+                source = self.project.sources[0]
+                node = ast.Module(body=[], type_ignores=[])
+            self.add(
+                source,
+                node,
+                "lock-order cycle: "
+                + " -> ".join(cycle + [cycle[0]])
+                + "; witnesses: "
+                + "; ".join(
+                    f"{e.held} -> {e.acquired} at {e.witnesses[0]}"
+                    for e in witness_edges[:4]
+                ),
+            )
+
+    def _locate(self, witness: str | None):
+        """Map a witness string ``qname (file):line`` back to a source
+        file and a line-bearing marker node."""
+        if witness is None:
+            return None, None
+        qname_part = witness.split(" (", 1)[0]
+        try:
+            line = int(witness.rsplit(":", 1)[1])
+        except (IndexError, ValueError):
+            line = 1
+        fn = self.project.functions.get(qname_part)
+        if fn is None:
+            return None, None
+        marker = ast.Pass()
+        marker.lineno = line
+        marker.col_offset = 0
+        return fn.source, marker

@@ -1,0 +1,195 @@
+"""RC10 — the crash/fault-point registry must stay live and closed.
+
+Paper grounding: the chaos sweep (PR 1) and the torture harness (PR 6)
+derive their coverage claim from the registry — "we crashed at every
+registered point".  That claim silently decays in two directions the
+sweep itself cannot see: a registered point whose hook was deleted in a
+refactor still counts as "covered", and a hook whose function became
+unreachable from any public entry point never fires.  This rule closes
+the registry against the call graph:
+
+* every ``crash_point``/``fault_point`` hook must pass a string literal
+  that is registered somewhere in the analyzed tree;
+* every ``register_crash_point``/``register_fault_point`` entry must be
+  exercised by at least one hook;
+* every hook must sit in a function reachable from a public entry point
+  (module-level hooks and public functions are live by definition);
+* every durable write in the WAL/checkpoint/recovery scope must share a
+  function with at least one *registered* hook, so the sweep can
+  actually land on it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from tools.repro_check.flow.project import FunctionInfo, ProjectRule
+from tools.repro_check.rules import rule
+from tools.repro_check.visitor import call_name
+
+_HOOKS = {"crash_point", "fault_point"}
+_REGISTRARS = {"register_crash_point", "register_fault_point"}
+_DURABLE_CALLEES = frozenset({"write_page", "write_track"})
+_SCOPES = ("repro.wal.", "repro.checkpoint.", "repro.recovery.")
+#: The module that defines the registry and hooks; its internal uses of
+#: the names are machinery, not instrumentation.
+_CHAOS_MODULE = "repro.sim.chaos"
+
+
+@dataclass
+class _Hook:
+    name: str | None  # None: non-literal argument
+    call: ast.Call
+    module: str
+    fn: FunctionInfo | None  # None: module level
+    source: object
+
+
+@rule
+class PointLivenessRule(ProjectRule):
+    rule_id = "RC10"
+    title = "crash/fault points must be registered, used, and reachable"
+    rationale = (
+        "PR 1's coverage claim is 'crashed at every registered point'; "
+        "registry drift (dangling registrations, unregistered hooks, "
+        "dead instrumentation) falsifies it without failing any test."
+    )
+
+    def check(self) -> None:
+        registered: dict[str, tuple] = {}  # name -> (source, call)
+        hooks: list[_Hook] = []
+
+        for source in self.project.sources:
+            module = source.module
+            if not module.startswith("repro.") or module == _CHAOS_MODULE:
+                continue
+            fn_of = self._function_spans(module)
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node)
+                if name in _REGISTRARS:
+                    literal = self._literal(node)
+                    if literal is None:
+                        self.add(
+                            source,
+                            node,
+                            f"{name}() with a non-literal point name cannot "
+                            f"be cross-checked; register with a string literal",
+                        )
+                    else:
+                        registered.setdefault(literal, (source, node))
+                elif name in _HOOKS:
+                    hooks.append(
+                        _Hook(
+                            self._literal(node),
+                            node,
+                            module,
+                            fn_of(node.lineno),
+                            source,
+                        )
+                    )
+
+        if not registered and not hooks:
+            return
+
+        reachable = self.project.reachable_functions()
+        used: set[str] = set()
+        for hook in hooks:
+            if hook.name is None:
+                self.add(
+                    hook.source,
+                    hook.call,
+                    "hook with a non-literal point name cannot be checked "
+                    "against the registry; pass a string literal",
+                )
+                continue
+            used.add(hook.name)
+            if hook.name not in registered:
+                self.add(
+                    hook.source,
+                    hook.call,
+                    f"point '{hook.name}' is not registered; the chaos sweep "
+                    f"and torture harness will never exercise it",
+                )
+            if hook.fn is not None and not self._live(hook.fn, reachable):
+                self.add(
+                    hook.source,
+                    hook.call,
+                    f"point '{hook.name}' sits in {hook.fn.qname}(), which is "
+                    f"unreachable from any public entry point — dead "
+                    f"instrumentation",
+                )
+
+        for name, (source, node) in sorted(registered.items()):
+            if name not in used:
+                self.add(
+                    source,
+                    node,
+                    f"registered point '{name}' is never passed to a "
+                    f"crash_point()/fault_point() hook; the registry "
+                    f"overstates sweep coverage",
+                )
+
+        self._check_durable_coverage(registered, hooks)
+
+    # ------------------------------------------------------------------
+
+    def _check_durable_coverage(
+        self, registered: dict[str, tuple], hooks: list[_Hook]
+    ) -> None:
+        registered_hooks_by_fn: set[str] = {
+            hook.fn.qname
+            for hook in hooks
+            if hook.fn is not None and hook.name in registered
+        }
+        for fn in self.project.functions.values():
+            if not fn.module.startswith(_SCOPES):
+                continue
+            writes = [
+                expr
+                for expr in self.project.cfg(fn).containing
+                if isinstance(expr, ast.Call)
+                and call_name(expr) in _DURABLE_CALLEES
+            ]
+            if writes and fn.qname not in registered_hooks_by_fn:
+                self.add(
+                    fn.source,
+                    writes[0],
+                    f"durable write in {fn.name}() is covered by no "
+                    f"*registered* crash/fault point; the sweep cannot land "
+                    f"a crash on it",
+                )
+
+    def _live(self, fn: FunctionInfo, reachable: set[str]) -> bool:
+        return fn.is_public or fn.qname in reachable
+
+    @staticmethod
+    def _literal(call: ast.Call) -> str | None:
+        if call.args and isinstance(call.args[0], ast.Constant):
+            value = call.args[0].value
+            if isinstance(value, str):
+                return value
+        return None
+
+    def _function_spans(self, module: str):
+        """Line -> innermost indexed function of *module*, as a lookup
+        callable (hooks at module level map to None)."""
+        spans: list[tuple[int, int, FunctionInfo]] = []
+        for fn in self.project.functions.values():
+            if fn.module != module:
+                continue
+            end = getattr(fn.node, "end_lineno", fn.node.lineno)
+            spans.append((fn.node.lineno, end or fn.node.lineno, fn))
+
+        def lookup(lineno: int) -> FunctionInfo | None:
+            best: FunctionInfo | None = None
+            best_span = 1 << 30
+            for start, end, fn in spans:
+                if start <= lineno <= end and (end - start) < best_span:
+                    best, best_span = fn, end - start
+                # nested defs are not indexed, so innermost == smallest
+            return best
+
+        return lookup
