@@ -1,0 +1,143 @@
+"""Experiment E-SHARD — committed-transaction throughput across shards.
+
+The shared-nothing decomposition's scaling claim: N shard nodes, each a
+full database with its own stable log buffer and no-wait scheduler,
+commit N times the low-contention transactions per second because no
+lock, log chain, or clock is shared between nodes.  The
+:class:`~repro.shard.scheduler.ShardedScheduler` runs each node's pool
+on its own driver thread; metered main-CPU time is bridged to host time
+via ``realtime_scale`` (the same overlap knob as E-TXN), with **one
+worker per node**, so any speedup comes from sharding, not pool sizing.
+
+The cross-shard knob measures what 2PC costs: the same script count at
+increasing cross-shard ratios, where each cross transfer pays two
+prepares and a decision instead of one instant commit.
+
+Acceptance: ≥2x committed-txn/sec at 4 shards vs 1 shard at
+``cross_ratio=0``.  Results land in ``BENCH_sharded.json`` (gitignored)
+for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro import SystemConfig
+from repro.shard import ShardedDatabase, ShardedScheduler
+from repro.workloads.sharded_bank import ShardedBankWorkload
+
+#: Shard counts measured on the pure-local workload, in order.
+SHARD_COUNTS = [1, 2, 4, 8]
+#: Cross-shard ratios measured at a fixed shard count.
+CROSS_RATIOS = [0.0, 0.25, 0.5]
+CROSS_SHARDS = 4
+#: Host seconds slept per simulated main-CPU second.
+REALTIME_SCALE = 300.0
+#: Transfer scripts per run.
+SCRIPTS = 64
+ACCOUNTS_PER_SHARD = 32
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_sharded.json"
+
+
+def measure(shards: int, cross_ratio: float, seed: int = 7) -> dict:
+    cluster = ShardedDatabase(
+        shards=shards,
+        config=SystemConfig(log_page_size=2048),
+        engine="threaded",
+        workers=1,
+    )
+    try:
+        bank = ShardedBankWorkload(
+            cluster,
+            accounts_per_shard=ACCOUNTS_PER_SHARD,
+            cross_ratio=cross_ratio,
+            seed=seed,
+        )
+        bank.load()
+        for node in cluster.nodes:
+            node.db.main_cpu.realtime_scale = REALTIME_SCALE
+        scheduler = ShardedScheduler(cluster, max_attempts=200, workers=1)
+        bank.submit(scheduler, SCRIPTS)
+        start = time.perf_counter()
+        results = scheduler.run()
+        wall = time.perf_counter() - start
+        for node in cluster.nodes:
+            node.db.main_cpu.realtime_scale = 0.0
+        bank.check_invariants()
+        committed = sum(1 for r in results if r.committed)
+        twopc = cluster.twopc.stats()
+        return {
+            "shards": shards,
+            "cross_ratio": cross_ratio,
+            "scripts": SCRIPTS,
+            "committed": committed,
+            "distributed_committed": twopc["distributed_committed"],
+            "distributed_aborted": twopc["distributed_aborted"],
+            "prepares": twopc["nodes"]["prepares"],
+            "wall_seconds": wall,
+            "txn_per_second": committed / wall,
+        }
+    finally:
+        cluster.close()
+
+
+def bench_sharded(benchmark, report):
+    def run_all():
+        scaling = [measure(n, 0.0) for n in SHARD_COUNTS]
+        cross = [measure(CROSS_SHARDS, ratio) for ratio in CROSS_RATIOS]
+        return scaling, cross
+
+    scaling, cross = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    base = scaling[0]
+    for r in scaling:
+        r["speedup"] = r["txn_per_second"] / base["txn_per_second"]
+
+    lines = [
+        f"{'shards':>7} {'committed':>10} {'txn/s':>9} {'speedup':>8}"
+    ]
+    for r in scaling:
+        lines.append(
+            f"{r['shards']:>7} {r['committed']:>10} "
+            f"{r['txn_per_second']:>9.1f} {r['speedup']:>7.2f}x"
+        )
+    lines.append("")
+    lines.append(
+        f"{'cross%':>7} {'committed':>10} {'2pc-commits':>12} "
+        f"{'prepares':>9} {'txn/s':>9}"
+    )
+    for r in cross:
+        lines.append(
+            f"{r['cross_ratio']:>7.2f} {r['committed']:>10} "
+            f"{r['distributed_committed']:>12} {r['prepares']:>9} "
+            f"{r['txn_per_second']:>9.1f}"
+        )
+    lines.append("")
+    lines.append(
+        f"{SCRIPTS} transfer scripts, 1 worker/node, "
+        f"realtime scale {REALTIME_SCALE}"
+    )
+    report("Sharded cluster — committed-transaction throughput", lines)
+
+    payload = {
+        "benchmark": "sharded",
+        "scripts": SCRIPTS,
+        "realtime_scale": REALTIME_SCALE,
+        "scaling": scaling,
+        "cross_shard": cross,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    # Low contention: everything commits at every shard count.
+    assert all(r["committed"] == SCRIPTS for r in scaling)
+    # The cross-shard sweep actually exercised 2PC.
+    assert all(
+        r["distributed_committed"] > 0 for r in cross if r["cross_ratio"] > 0
+    )
+    # The tentpole claim: ≥2x committed-txn/sec at 4 shards vs 1.
+    by_shards = {r["shards"]: r for r in scaling}
+    assert by_shards[4]["speedup"] >= 2.0, (
+        f"4-shard throughput speedup {by_shards[4]['speedup']:.2f}x < 2x"
+    )

@@ -71,6 +71,7 @@ from repro.storage.memory_manager import MemoryManager
 from repro.storage.partition import Partition
 from repro.txn.manager import TransactionManager
 from repro.txn.transaction import Transaction
+from repro.txn.twopc import TwoPCStats
 from repro.wal.audit import AuditLog
 from repro.wal.log_disk import LogDisk
 from repro.wal.records import RedoRecord
@@ -121,6 +122,18 @@ class Database:
         #: attached via :meth:`register_scheduler`; surfaces its counters in
         #: :meth:`stats` and ``Monitor.snapshot()``.
         self.scheduler = None
+        #: Shard identity when this database is one node of a
+        #: :class:`~repro.shard.ShardedDatabase` (``None`` standalone).
+        self.shard_id: int | None = None
+        #: 2PC counters for this node (prepares, phase-2 outcomes,
+        #: decisions logged here, in-doubt resolutions at restart).
+        self.twopc = TwoPCStats()
+        #: In-doubt resolver consulted by restart for prepared chains.
+        #: Duck-typed: ``decide(prepare) -> "commit" | "abort"`` and
+        #: ``acknowledge(prepare, verdict)`` after the verdict applied.
+        #: ``None`` means presumed abort (a standalone database has no
+        #: coordinator to ask, so every in-doubt chain rolls back).
+        self.in_doubt_resolver = None
 
     # -- construction ------------------------------------------------------------
 
@@ -508,6 +521,8 @@ class Database:
         return {
             "scheduler": scheduler_stats,
             "engine": self.engine.name,
+            "shard_id": self.shard_id,
+            "twopc": self.twopc.snapshot(),
             "clock_seconds": self.clock.now,
             "transactions_committed": self.transactions.committed,
             "transactions_aborted": self.transactions.aborted,

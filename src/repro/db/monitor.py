@@ -42,6 +42,11 @@ class Monitor:
         db = self.db
         return {
             "engine": db.engine.name,
+            "shard": {
+                "id": db.shard_id,
+                "sharded": db.shard_id is not None,
+            },
+            "twopc": db.twopc.snapshot(),
             "scheduler": (
                 db.scheduler.stats() if db.scheduler is not None else None
             ),
@@ -134,12 +139,22 @@ class Monitor:
             if snap["clock"]["seconds"] > 0
             else 0.0
         )
+        shard_line = (
+            f"shard               node {snap['shard']['id']}"
+            if snap["shard"]["sharded"]
+            else "shard               standalone"
+        )
+        twopc = snap["twopc"]
         lines = [
             "=== system status " + "=" * 44,
+            shard_line,
             f"simulated time      {format_seconds(snap['clock']['seconds'])}",
             f"transactions        {snap['transactions']['committed']} committed / "
             f"{snap['transactions']['aborted']} aborted / "
             f"{snap['transactions']['active']} active",
+            f"2pc                 {twopc['prepares']} prepared / "
+            f"{twopc['decisions_logged']} decisions / "
+            f"{twopc['in_doubt_committed'] + twopc['in_doubt_aborted']} in-doubt resolved",
             "--- stable memory",
             f"  SLB               {format_bytes(snap['stable_memory']['slb_used'])}"
             f" / {format_bytes(snap['stable_memory']['slb_capacity'])}",

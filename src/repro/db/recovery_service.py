@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 
 from repro.common.errors import RecoveryError
 from repro.recovery.restart import RestartCoordinator
+from repro.wal.records import TxnPrepare, decode_control
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.database import Database
@@ -46,12 +47,50 @@ class RecoveryService:
         if self.db.restart_coordinator is not None:
             self.db.restart_coordinator.background_step()
 
+    def resolve_in_doubt(self) -> dict[str, int]:
+        """Settle every prepared (in-doubt) SLB chain before phase 1.
+
+        Runs right after uncommitted chains are discarded and *before*
+        :class:`RestartCoordinator` drains the committed list: a chain
+        resolved to COMMIT simply joins the committed list and flows
+        through the ordinary restart pipeline, so no special replay path
+        exists for 2PC branches.  The verdict comes from the database's
+        ``in_doubt_resolver`` (installed by
+        :class:`~repro.shard.ShardedDatabase`, which consults the
+        coordinator shard's stable decision table); without a resolver
+        the outcome is the presumed-abort default.
+        """
+        db = self.db
+        resolved = {"commit": 0, "abort": 0}
+        for txn_id, payload in db.slb.prepared_txns():
+            record, _ = decode_control(payload)
+            if not isinstance(record, TxnPrepare):
+                raise RecoveryError(
+                    f"prepared chain of txn {txn_id} carries a "
+                    f"{type(record).__name__}, expected TxnPrepare"
+                )
+            db.twopc.bump("in_doubt_found")
+            resolver = db.in_doubt_resolver
+            verdict = "abort" if resolver is None else resolver.decide(record)
+            if verdict == "commit":
+                db.slb.commit_prepared(txn_id)
+                db.twopc.bump("in_doubt_committed")
+            else:
+                db.slb.abort_prepared(txn_id)
+                db.twopc.bump("in_doubt_aborted")
+            db.audit.record(txn_id, f"in-doubt-{verdict}", db.clock.now)
+            if resolver is not None:
+                resolver.acknowledge(record, verdict)
+            resolved[verdict] += 1
+        return resolved
+
     def restart(self, mode: RecoveryMode) -> RestartCoordinator:
         """Bring the system back: catalogs first, then data per ``mode``."""
         db = self.db
         if not db.crashed:
             raise RecoveryError("restart() called but the system is not crashed")
         db.slb.discard_uncommitted()
+        self.resolve_in_doubt()
         from repro.txn.manager import TransactionManager
 
         db.transactions = TransactionManager(db)

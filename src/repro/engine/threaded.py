@@ -117,11 +117,19 @@ class ThreadedEngine(ExecutionEngine):
 
     name = "threaded"
 
-    def __init__(self, workers: int = 4, relaxed_pump: bool = False):
+    def __init__(
+        self,
+        workers: int = 4,
+        relaxed_pump: bool = False,
+        thread_prefix: str = "repro",
+    ):
         super().__init__()
         if workers < 1:
             raise ValueError("the threaded engine needs at least one worker")
         self.workers = workers
+        #: Host-thread name prefix; a sharded deployment gives each node
+        #: its own (``repro-shard3``) so stack dumps attribute work.
+        self.thread_prefix = thread_prefix
         #: With relaxed determinism, :meth:`pump` makes ONE mailbox round
         #: trip instead of four: the full duty sequence (sort → ack →
         #: checkpoint → ack → background restore) runs as a single job on
@@ -132,7 +140,7 @@ class ThreadedEngine(ExecutionEngine):
         #: quiet pump stay identical while the mailbox hot path drops to
         #: a quarter of the round trips.
         self.relaxed_pump = relaxed_pump
-        self._recovery = _RecoveryThread("repro-recovery-cpu")
+        self._recovery = _RecoveryThread(f"{thread_prefix}-recovery-cpu")
         # The databases under test are created by the hundred; tie the
         # thread's lifetime to the engine object so abandoned instances
         # cannot leak host threads.
@@ -207,7 +215,7 @@ class ThreadedEngine(ExecutionEngine):
 
         threads = [
             threading.Thread(
-                target=worker, name=f"repro-restore-{i}", daemon=True
+                target=worker, name=f"{self.thread_prefix}-restore-{i}", daemon=True
             )
             for i in range(pool_size)
         ]
@@ -259,7 +267,9 @@ class ThreadedEngine(ExecutionEngine):
 
         threads = [
             threading.Thread(
-                target=worker, name=f"repro-media-restore-{i}", daemon=True
+                target=worker,
+                name=f"{self.thread_prefix}-media-restore-{i}",
+                daemon=True,
             )
             for i in range(pool_size)
         ]

@@ -1,0 +1,79 @@
+"""The sharded execution engine: one node's slice of the cluster.
+
+A :class:`ShardedEngine` is a :class:`~repro.engine.threaded.ThreadedEngine`
+that knows which shard it drives: its recovery-CPU thread, phase-2
+restore pool, and media-restore pool are all named after the node
+(``repro-shard3-recovery-cpu`` …), so every node gets its own worker
+pool, duty pumping, and restore fan-out while sharing no thread — the
+shared-nothing property the topology is named for.
+
+:func:`fan_out` is the facade-side complement: it runs one callable per
+node on parallel host threads (cluster-wide pump, restart, eager
+recovery), which is safe precisely because nodes share no state — each
+thread touches exactly one node's locks, clocks, and stable structures.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.engine.threaded import ThreadedEngine
+
+
+class ShardedEngine(ThreadedEngine):
+    """A per-node threaded engine carrying its shard identity."""
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        shard_id: int,
+        workers: int = 4,
+        relaxed_pump: bool = False,
+    ):
+        if shard_id < 0:
+            raise ValueError("shard_id must be non-negative")
+        super().__init__(
+            workers=workers,
+            relaxed_pump=relaxed_pump,
+            thread_prefix=f"repro-shard{shard_id}",
+        )
+        self.shard_id = shard_id
+
+
+def fan_out(jobs: list[Callable[[], object]], parallel: bool = True) -> list:
+    """Run one job per node; results in input order.
+
+    ``parallel=False`` (the sim-engine cluster) applies the jobs
+    sequentially in order, keeping the deterministic schedule.  With
+    threads, the first error stops nothing early — every node's job runs
+    to completion so a surviving shard never sees a half-applied cluster
+    operation — but the first error is re-raised on the caller.
+    """
+    if not parallel or len(jobs) <= 1:
+        return [job() for job in jobs]
+    results: list = [None] * len(jobs)
+    errors: list[BaseException] = []
+    state_lock = threading.Lock()
+
+    def run(index: int) -> None:
+        try:
+            results[index] = jobs[index]()
+        # Not a swallow: the first error is re-raised on the caller after
+        # every node finished its job.
+        except BaseException as exc:  # repro-check: ignore[RC04]
+            with state_lock:
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(i,), name=f"repro-fanout-{i}", daemon=True)
+        for i in range(len(jobs))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return results

@@ -98,6 +98,10 @@ class RoundSpec:
     kind: str
     engine: str = "threaded"
     workers: int = 4
+    #: ``shards > 1`` runs the round against a ShardedDatabase cluster
+    #: (whole-cluster crash, per-shard bank invariants) instead of a
+    #: single node.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -106,13 +110,18 @@ class RoundSpec:
             raise ValueError(f"unknown engine {self.engine!r}")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
 
     def repro_command(self) -> str:
-        return (
+        command = (
             f"PYTHONPATH=src python -m repro.sim.torture --seed {self.seed} "
             f"--rounds 1 --kinds {self.kind} --engine {self.engine} "
             f"--workers {self.workers}"
         )
+        if self.shards > 1:
+            command += f" --shards {self.shards}"
+        return command
 
 
 @dataclass
@@ -123,7 +132,8 @@ class RoundResult:
     kind: str
     engine: str
     workers: int
-    #: Committed debit/credit transactions that survived recovery.
+    #: Committed transactions that survived recovery (debit/credits on a
+    #: single node, scheduler-routed transfers on a sharded round).
     committed: int
     crashes_fired: int
     faults_fired: int
@@ -134,6 +144,7 @@ class RoundResult:
     verified_by: str
     digest: str
     host_seconds: float
+    shards: int = 1
 
     def to_json(self) -> dict:
         return dict(self.__dict__)
@@ -223,7 +234,10 @@ class TortureHarness:
     def run_round(self, spec: RoundSpec) -> RoundResult:
         started = host_now()
         try:
-            result = self._run_round_inner(spec)
+            if spec.shards > 1:
+                result = self._run_sharded_round_inner(spec)
+            else:
+                result = self._run_round_inner(spec)
         except TortureFailure as exc:
             raise TortureFailure(
                 f"{exc}; reproduce with: {spec.repro_command()}"
@@ -313,6 +327,93 @@ class TortureHarness:
             host_seconds=0.0,
         )
 
+    def _run_sharded_round_inner(self, spec: RoundSpec) -> RoundResult:
+        """A round against a sharded cluster: routed workload under the
+        plan, whole-cluster crash, per-shard restart, per-shard bank
+        conservation plus digest stability on every node."""
+        from repro.shard import ShardedDatabase, ShardedScheduler
+        from repro.workloads.sharded_bank import ShardedBankWorkload
+
+        rng = random.Random(spec.seed)
+        cluster = ShardedDatabase(
+            shards=spec.shards,
+            config=SystemConfig(**ROUND_CONFIG),
+            engine=spec.engine,
+            workers=spec.workers,
+        )
+        try:
+            bank = ShardedBankWorkload(
+                cluster,
+                accounts_per_shard=16,
+                cross_ratio=0.25,
+                seed=spec.seed,
+            )
+            bank.load()
+            plan = build_plan(spec, rng)
+            injector = ChaosEngine(plan)
+            disk_scale = rng.uniform(0.002, 0.01)
+            cpu_scale = rng.uniform(1.0, 8.0)
+            for node in cluster.nodes:
+                install_latency(
+                    node.db,
+                    injector,
+                    disk_scale=disk_scale,
+                    cpu_scale=cpu_scale,
+                    jitter=(0.0, 0.0005),
+                )
+            recovery_mode = rng.choice([RecoveryMode.EAGER, RecoveryMode.ON_DEMAND])
+            with chaos(injector):
+                scheduler = ShardedScheduler(
+                    cluster, max_attempts=500, workers=spec.workers
+                )
+                bank.submit(scheduler, POOL_SCRIPTS)
+                try:
+                    scheduler.run()
+                except SimulatedCrash:
+                    pass
+                # Whole-cluster power failure, then bring every node back
+                # (in-doubt branches resolve against the stable decision
+                # tables during each node's restart).
+                cluster.crash()
+                restart_attempts = self._restart_cluster_until_recovered(
+                    cluster, recovery_mode
+                )
+            try:
+                bank.check_invariants()
+            except AssertionError as exc:
+                raise TortureFailure(str(exc)) from exc
+            if cluster.twopc.pending_gtids():
+                raise TortureFailure(
+                    f"recovery left distributed txns in flight: "
+                    f"{cluster.twopc.pending_gtids()}"
+                )
+            digests = cluster.digests()
+            self._check_sharded_stability(cluster, recovery_mode, digests)
+            self._check_sharded_fault_accounting(cluster, injector)
+            # The stable SLB commit counters survive the crash (the
+            # manager's in-memory tallies do not).
+            committed = sum(node.db.slb.commits for node in cluster.nodes)
+        finally:
+            for node in cluster.nodes:
+                remove_latency(node.db)
+            cluster.close()
+        digest = "|".join(f"{sid}:{d[:16]}" for sid, d in sorted(digests.items()))
+        return RoundResult(
+            seed=spec.seed,
+            kind=spec.kind,
+            engine=spec.engine,
+            workers=spec.workers,
+            committed=committed,
+            crashes_fired=injector.crashes_fired,
+            faults_fired=injector.faults_fired,
+            latency_fired=injector.latency_fired,
+            restart_attempts=restart_attempts,
+            verified_by="invariants",
+            digest=digest,
+            host_seconds=0.0,
+            shards=spec.shards,
+        )
+
     # -- phases ---------------------------------------------------------------
 
     def _run_pool(
@@ -351,6 +452,24 @@ class TortureHarness:
                 db.crash()
         raise RecoveryError(
             f"restart did not converge in {MAX_RESTART_ATTEMPTS} attempts"
+        )
+
+    def _restart_cluster_until_recovered(self, cluster, mode: RecoveryMode) -> int:
+        for attempt in range(1, MAX_RESTART_ATTEMPTS + 1):
+            try:
+                for node in cluster.nodes:
+                    if node.crashed:
+                        node.restart(mode)
+                    node.recover_everything()
+                return attempt
+            except SimulatedCrash:
+                # Re-crash the whole cluster: recovery is idempotent, and
+                # the latch on crash rules bounds the retries.
+                for node in cluster.nodes:
+                    if not node.crashed:
+                        node.crash()
+        raise RecoveryError(
+            f"cluster restart did not converge in {MAX_RESTART_ATTEMPTS} attempts"
         )
 
     # -- checks ---------------------------------------------------------------
@@ -402,6 +521,44 @@ class TortureHarness:
                 f"{again[:16]}… != first {digest[:16]}…"
             )
 
+    def _check_sharded_stability(
+        self, cluster, mode: RecoveryMode, digests: dict[int, str]
+    ) -> None:
+        """Every node's recovery must be a fixed point, cluster-wide."""
+        cluster.crash()
+        self._restart_cluster_until_recovered(cluster, mode)
+        again = cluster.digests()
+        if again != digests:
+            changed = sorted(
+                sid for sid in digests if again.get(sid) != digests[sid]
+            )
+            raise TortureFailure(
+                f"sharded recovery is not stable: shards {changed} produced "
+                f"different digests on the second recovery"
+            )
+
+    def _check_sharded_fault_accounting(self, cluster, injector: ChaosEngine) -> None:
+        counted = sum(
+            node.db.log_disk.io_stats.faults
+            + node.db.checkpoint_disk.io_stats.faults
+            for node in cluster.nodes
+        )
+        if counted != injector.faults_fired:
+            raise TortureFailure(
+                f"retry layers counted {counted} transient faults but the "
+                f"plan injected {injector.faults_fired}"
+            )
+        escalations = sum(
+            node.db.log_disk.io_stats.escalations
+            + node.db.checkpoint_disk.io_stats.escalations
+            for node in cluster.nodes
+        )
+        if escalations:
+            raise TortureFailure(
+                f"{escalations} transient faults escalated to MediaFailure "
+                f"despite per-rule fires within the retry budget"
+            )
+
     def _check_fault_accounting(
         self, db: Database, injector: ChaosEngine
     ) -> None:
@@ -430,6 +587,7 @@ class TortureHarness:
         kinds: tuple[str, ...] = KINDS,
         engine: str = "threaded",
         workers: int = 4,
+        shards: int = 1,
         on_result=None,
     ) -> list[RoundResult]:
         """Run every (seed, kind) combination; the first failure raises
@@ -437,7 +595,9 @@ class TortureHarness:
         results = []
         for seed in seeds:
             for kind in kinds:
-                result = self.run_round(RoundSpec(seed, kind, engine, workers))
+                result = self.run_round(
+                    RoundSpec(seed, kind, engine, workers, shards)
+                )
                 if on_result is not None:
                     on_result(result)
                 results.append(result)
@@ -460,6 +620,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--engine", choices=("sim", "threaded"), default="threaded")
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="run each round against a cluster of this many shard nodes",
+    )
+    parser.add_argument(
         "--log", default=None, help="append one JSON line per round here"
     )
     args = parser.parse_args(argv)
@@ -472,9 +638,10 @@ def main(argv: list[str] | None = None) -> int:
         if log_file is not None:
             log_file.write(json.dumps(line) + "\n")
             log_file.flush()
+        topology = "" if result.shards == 1 else f" shards={result.shards}"
         print(
             f"round seed={result.seed} kind={result.kind} "
-            f"engine={result.engine} ok: {result.committed} commits, "
+            f"engine={result.engine}{topology} ok: {result.committed} commits, "
             f"{result.crashes_fired} crashes / {result.faults_fired} faults "
             f"/ {result.latency_fired} latency fires, "
             f"verified by {result.verified_by}"
@@ -486,6 +653,7 @@ def main(argv: list[str] | None = None) -> int:
             kinds=tuple(args.kinds),
             engine=args.engine,
             workers=args.workers,
+            shards=args.shards,
             on_result=report,
         )
     except TortureFailure as failure:

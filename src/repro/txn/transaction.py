@@ -36,6 +36,18 @@ register_crash_point(
     "txn.commit.after-slb",
     "chain on the committed list, before locks release / undo discard",
 )
+register_crash_point(
+    "txn.prepare.before-slb",
+    "prepare() entered, before the SLB chain moves to the prepared list",
+)
+register_crash_point(
+    "txn.prepare.after-slb",
+    "chain prepared (in-doubt), before the coordinator learns of it",
+)
+register_crash_point(
+    "txn.commit-prepared.before-slb",
+    "phase-2 commit entered, before the prepared chain joins the committed list",
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.database import Database
@@ -53,6 +65,9 @@ def _index_segments(records: list[undo.UndoRecord]) -> set[int]:
 
 class TxnState(enum.Enum):
     ACTIVE = "active"
+    #: A 2PC branch that forced its PREPARE: REDO chain stable, locks and
+    #: UNDO retained, awaiting the coordinator's verdict.
+    PREPARED = "prepared"
     COMMITTED = "committed"
     ABORTED = "aborted"
 
@@ -129,6 +144,60 @@ class Transaction:
         self._undo.clear()  # UNDO information is discarded at commit
         self.db.locks.release_all(self.txn_id)
         self.db.audit.record(self.txn_id, "commit", self.db.clock.now)
+        self.db.on_transaction_finished(self)
+
+    # -- two-phase commit (repro.shard) ----------------------------------------------
+
+    def prepare(self, prepare_record: bytes) -> None:
+        """Force this branch's PREPARE: the chain becomes in-doubt.
+
+        The encoded :class:`~repro.wal.records.TxnPrepare` moves into
+        stable memory with the chain.  Locks and UNDO survive — the
+        branch must stay able to go either way until the coordinator's
+        verdict arrives (:meth:`commit_prepared` / :meth:`abort_prepared`).
+        """
+        self._ensure_active()
+        crash_point("txn.prepare.before-slb")
+        self.db.slb.prepare(self.txn_id, prepare_record)
+        self.state = TxnState.PREPARED
+        self.db.twopc.bump("prepares")
+        crash_point("txn.prepare.after-slb")
+        self.db.audit.record(self.txn_id, "prepare", self.db.clock.now)
+
+    def _ensure_prepared(self) -> None:
+        if self.state is not TxnState.PREPARED:
+            raise TransactionStateError(
+                f"txn {self.txn_id} is {self.state.value}, not prepared"
+            )
+
+    def commit_prepared(self) -> None:
+        """Phase-2 COMMIT of a prepared branch (coordinator said yes)."""
+        self._ensure_prepared()
+        crash_point("txn.commit-prepared.before-slb")
+        self.db.slb.commit_prepared(self.txn_id)
+        self.state = TxnState.COMMITTED
+        self.db.twopc.bump("prepared_commits")
+        observer = self.db.commit_observer
+        if observer is not None:
+            observer(self)
+        self._undo.clear()
+        self.db.locks.release_all(self.txn_id)
+        self.db.audit.record(self.txn_id, "commit", self.db.clock.now)
+        self.db.on_transaction_finished(self)
+
+    def abort_prepared(self) -> None:
+        """Phase-2 ABORT of a prepared branch (presumed abort)."""
+        self._ensure_prepared()
+        index_segments = _index_segments(self._undo)
+        for record in reversed(self._undo):
+            record.apply(self.db.memory)
+        self._undo.clear()
+        self.db.slb.abort_prepared(self.txn_id)
+        self.state = TxnState.ABORTED
+        self.db.twopc.bump("prepared_aborts")
+        self.db.reload_index_mirrors(index_segments)
+        self.db.locks.release_all(self.txn_id)
+        self.db.audit.record(self.txn_id, "abort", self.db.clock.now)
         self.db.on_transaction_finished(self)
 
     def abort(self) -> None:

@@ -1,0 +1,48 @@
+"""Per-database two-phase-commit counters.
+
+Every :class:`~repro.db.database.Database` — whether standalone or
+embedded in a :class:`~repro.shard.ShardNode` — carries one
+:class:`TwoPCStats` so ``stats()`` and ``Monitor.snapshot()`` can report
+the 2PC traffic this node saw: branches prepared, phase-2 outcomes,
+coordinator decisions logged here, and in-doubt chains resolved at
+restart.  A leaf mutex keeps the counters consistent when concurrent
+scheduler workers and the restart path bump them from different threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class TwoPCStats:
+    """Thread-safe 2PC counters for one database / shard node."""
+
+    _FIELDS = (
+        "prepares",
+        "prepared_commits",
+        "prepared_aborts",
+        "decisions_logged",
+        "in_doubt_found",
+        "in_doubt_committed",
+        "in_doubt_aborted",
+    )
+
+    def __init__(self) -> None:
+        #: Leaf lock: held only for counter updates, never while calling
+        #: into any other component.
+        self._mutex = threading.Lock()
+        for name in self._FIELDS:
+            setattr(self, name, 0)
+
+    def bump(self, name: str, by: int = 1) -> None:
+        if name not in self._FIELDS:
+            raise AttributeError(f"unknown 2PC counter {name!r}")
+        with self._mutex:
+            setattr(self, name, getattr(self, name) + by)
+
+    def snapshot(self) -> dict:
+        with self._mutex:
+            return {name: getattr(self, name) for name in self._FIELDS}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TwoPCStats({self.snapshot()})"

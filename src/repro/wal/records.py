@@ -475,6 +475,157 @@ def decode_records(buf: bytes) -> list[RedoRecord]:
 
 
 # ------------------------------------------------------------------------------
+# Two-phase-commit control records
+# ------------------------------------------------------------------------------
+#
+# Cross-shard transactions (repro.shard) force a PREPARE record into the
+# participant's Stable Log Buffer and a decision entry into the
+# coordinator's well-known area.  Control records are deliberately *not*
+# RedoRecord subclasses: they name no entity and no partition, so they
+# must never enter the bin-sort pipeline — they live beside a prepared
+# chain (or in the decision table) and are consumed by restart's
+# in-doubt resolution, not by REDO replay.
+
+_CONTROL_HEADER = struct.Struct("<BQ")  # tag, txn_id
+_CONTROL_REGISTRY: dict[int, type["ControlRecord"]] = {}
+
+#: Control tags live in their own high range so a control byte stream can
+#: never be mistaken for (or decoded as) a REDO record.
+PREPARE_TAG = 128
+DECISION_TAG = 129
+
+
+def _register_control(cls: type["ControlRecord"]) -> type["ControlRecord"]:
+    if cls.TAG in _CONTROL_REGISTRY:
+        raise AssertionError(f"duplicate control record tag {cls.TAG}")
+    _CONTROL_REGISTRY[cls.TAG] = cls
+    return cls
+
+
+def _encode_str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return _U16.pack(len(raw)) + raw
+
+
+def _decode_str(buf: bytes, pos: int) -> tuple[str, int]:
+    (length,) = _U16.unpack_from(buf, pos)
+    pos += _U16.size
+    return buf[pos : pos + length].decode("utf-8"), pos + length
+
+
+@dataclass(frozen=True, slots=True)
+class ControlRecord:
+    """Base class for 2PC control records (prepare / decision)."""
+
+    TAG: ClassVar[int] = 0
+
+    txn_id: int
+
+    def _payload(self) -> bytes:
+        raise NotImplementedError
+
+    def encode(self) -> bytes:
+        return _CONTROL_HEADER.pack(self.TAG, self.txn_id) + self._payload()
+
+    @property
+    def size_bytes(self) -> int:
+        return _CONTROL_HEADER.size + len(self._payload())
+
+
+@_register_control
+@dataclass(frozen=True, slots=True)
+class TxnPrepare(ControlRecord):
+    """A participant's promise: the branch's REDO chain is stable and its
+    locks are held until the coordinator's verdict arrives.
+
+    Carries everything restart needs to resolve the branch without the
+    coordinator process: the global transaction id, this branch's shard,
+    the coordinator shard (whose stable decision table holds the
+    verdict), and the full participant set.
+    """
+
+    TAG: ClassVar[int] = PREPARE_TAG
+
+    gtid: str
+    shard: int
+    coordinator: int
+    participants: tuple[int, ...]
+
+    def _payload(self) -> bytes:
+        body = _encode_str(self.gtid)
+        body += _U16.pack(self.shard) + _U16.pack(self.coordinator)
+        body += _U16.pack(len(self.participants))
+        for sid in self.participants:
+            body += _U16.pack(sid)
+        return body
+
+    @classmethod
+    def _decode(cls, txn_id: int, buf: bytes, pos: int):
+        gtid, pos = _decode_str(buf, pos)
+        (shard,) = _U16.unpack_from(buf, pos)
+        pos += _U16.size
+        (coordinator,) = _U16.unpack_from(buf, pos)
+        pos += _U16.size
+        (count,) = _U16.unpack_from(buf, pos)
+        pos += _U16.size
+        participants = []
+        for _ in range(count):
+            (sid,) = _U16.unpack_from(buf, pos)
+            pos += _U16.size
+            participants.append(sid)
+        return cls(txn_id, gtid, shard, coordinator, tuple(participants)), pos
+
+
+@_register_control
+@dataclass(frozen=True, slots=True)
+class TxnDecision(ControlRecord):
+    """The coordinator's logged verdict for one global transaction.
+
+    Presumed abort: only COMMIT decisions are ever logged — an absent
+    decision *is* the abort verdict — but the record format carries the
+    verdict explicitly so the decision table stays self-describing.
+    """
+
+    TAG: ClassVar[int] = DECISION_TAG
+
+    gtid: str
+    verdict: str
+    participants: tuple[int, ...]
+
+    def _payload(self) -> bytes:
+        body = _encode_str(self.gtid) + _encode_str(self.verdict)
+        body += _U16.pack(len(self.participants))
+        for sid in self.participants:
+            body += _U16.pack(sid)
+        return body
+
+    @classmethod
+    def _decode(cls, txn_id: int, buf: bytes, pos: int):
+        gtid, pos = _decode_str(buf, pos)
+        verdict, pos = _decode_str(buf, pos)
+        (count,) = _U16.unpack_from(buf, pos)
+        pos += _U16.size
+        participants = []
+        for _ in range(count):
+            (sid,) = _U16.unpack_from(buf, pos)
+            pos += _U16.size
+            participants.append(sid)
+        return cls(txn_id, gtid, verdict, tuple(participants)), pos
+
+
+def decode_control(buf: bytes, pos: int = 0) -> tuple[ControlRecord, int]:
+    """Decode one control record starting at ``pos``."""
+    try:
+        tag, txn_id = _CONTROL_HEADER.unpack_from(buf, pos)
+    except struct.error as exc:
+        raise LogError(f"truncated control record header at {pos}") from exc
+    cls = _CONTROL_REGISTRY.get(tag)
+    if cls is None:
+        raise LogError(f"unknown control record tag {tag} at {pos}")
+    return cls._decode(txn_id, buf, pos + _CONTROL_HEADER.size)  # type: ignore[attr-defined]
+
+
+# ------------------------------------------------------------------------------
 # Compact (condensed) encoding — section 2.3.3 point 3
 # ------------------------------------------------------------------------------
 #

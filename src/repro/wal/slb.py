@@ -85,6 +85,11 @@ class StableLogBuffer:
         self._uncommitted: dict[int, TransactionLogChain] = {}  # guarded-by: _mutex
         #: Committed chains in commit order, awaiting the recovery CPU.
         self._committed: list[TransactionLogChain] = []  # guarded-by: _mutex
+        #: Prepared chains (2PC participants awaiting the coordinator's
+        #: verdict), keyed by txn id with the encoded TxnPrepare record.
+        #: Stable like the committed list: a crash keeps these chains and
+        #: restart resolves them from the coordinator's decision table.
+        self._prepared: dict[int, tuple[TransactionLogChain, bytes]] = {}  # guarded-by: _mutex
         self._well_known: dict[str, object] = {}  # guarded-by: _mutex
         self.stable.allocate("slb-well-known", WELL_KNOWN_RESERVE, self._well_known)
         #: Serialises the chain lists and statistics between the main
@@ -99,6 +104,7 @@ class StableLogBuffer:
         self.bytes_written = 0
         self.commits = 0
         self.aborts = 0
+        self.prepares = 0
 
     # -- transaction chains ------------------------------------------------------
 
@@ -169,6 +175,56 @@ class StableLogBuffer:
                 return
             self._free_chain(chain)
             self.aborts += 1
+
+    # -- two-phase commit (repro.shard) ------------------------------------------------
+
+    def prepare(self, txn_id: int, prepare_record: bytes) -> None:
+        """Move the chain to the prepared list with its PREPARE record.
+
+        The chain's blocks are already stable, so — exactly like commit —
+        the prepare is durable the moment the chain changes lists.  The
+        encoded :class:`~repro.wal.records.TxnPrepare` travels with the
+        chain so restart can resolve the branch without the coordinator
+        process (it names the coordinator shard to consult).
+        """
+        with self._mutex:
+            chain = self._require_open(txn_id)
+            del self._uncommitted[txn_id]
+            self._prepared[txn_id] = (chain, bytes(prepare_record))
+            self.prepares += 1
+
+    def commit_prepared(self, txn_id: int) -> None:
+        """Phase-2 COMMIT: append the prepared chain to the committed list."""
+        with self._mutex:
+            entry = self._prepared.pop(txn_id, None)
+            if entry is None:
+                raise TransactionStateError(f"txn {txn_id} has no prepared chain")
+            chain, _ = entry
+            self._committed.append(chain)
+            self.commits += 1
+
+    def abort_prepared(self, txn_id: int) -> None:
+        """Phase-2 ABORT (or presumed abort at restart): free the chain."""
+        with self._mutex:
+            entry = self._prepared.pop(txn_id, None)
+            if entry is None:
+                raise TransactionStateError(f"txn {txn_id} has no prepared chain")
+            chain, _ = entry
+            self._free_chain(chain)
+            self.aborts += 1
+
+    def prepared_txns(self) -> list[tuple[int, bytes]]:
+        """``(txn_id, encoded TxnPrepare)`` for every in-doubt chain."""
+        with self._mutex:
+            return [
+                (txn_id, payload)
+                for txn_id, (_, payload) in sorted(self._prepared.items())
+            ]
+
+    @property
+    def prepared_txn_ids(self) -> list[int]:
+        with self._mutex:
+            return sorted(self._prepared)
 
     def _free_chain(self, chain: TransactionLogChain) -> None:
         for block in chain.blocks:
@@ -264,7 +320,12 @@ class StableLogBuffer:
 
     def discard_uncommitted(self) -> int:
         """Post-crash policy: drop chains of transactions that never
-        committed.  Returns the number of chains discarded."""
+        committed.  Returns the number of chains discarded.
+
+        Prepared chains are *kept*: a prepared branch promised the
+        coordinator it could still commit, so only in-doubt resolution
+        (restart consulting the decision table) may settle its fate.
+        """
         with self._mutex:
             count = len(self._uncommitted)
             for chain in self._uncommitted.values():
@@ -297,6 +358,8 @@ class StableLogBuffer:
 
     def used_blocks(self) -> int:
         with self._mutex:
-            return sum(
-                len(chain.blocks) for chain in self._uncommitted.values()
-            ) + sum(len(chain.blocks) for chain in self._committed)
+            return (
+                sum(len(chain.blocks) for chain in self._uncommitted.values())
+                + sum(len(chain.blocks) for chain, _ in self._prepared.values())
+                + sum(len(chain.blocks) for chain in self._committed)
+            )

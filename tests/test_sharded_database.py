@@ -1,0 +1,316 @@
+"""The sharded facade: topology, routing, scheduling, and the shards=1
+degenerate case (digest-identical to a standalone database)."""
+
+import pytest
+
+from repro import Database, SystemConfig
+from repro.recovery.oracle import logical_digest
+from repro.shard import (
+    ShardedDatabase,
+    ShardedScheduler,
+    ShardingError,
+)
+from repro.txn.concurrent import ConcurrentScheduler
+from repro.workloads.sharded_bank import ShardedBankWorkload
+
+ACCOUNT_SCHEMA = [("id", "int"), ("balance", "int")]
+
+
+def small_config(**kwargs):
+    defaults = dict(
+        log_page_size=1024,
+        update_count_threshold=40,
+        log_window_pages=256,
+        log_window_grace_pages=16,
+    )
+    defaults.update(kwargs)
+    return SystemConfig(**defaults)
+
+
+@pytest.fixture()
+def cluster():
+    c = ShardedDatabase(shards=2, config=small_config(), engine="sim")
+    yield c
+    c.close()
+
+
+def load_pair(cluster):
+    """accounts on shard 0, ledger on shard 1, a few rows each."""
+    acc = cluster.create_relation("accounts", ACCOUNT_SCHEMA, "id", shard=0)
+    led = cluster.create_relation(
+        "ledger", [("id", "int"), ("total", "int")], "id", shard=1
+    )
+    with cluster.transaction(relations=["accounts"]) as txn:
+        for i in range(4):
+            acc.insert(txn, {"id": i, "balance": 100})
+    with cluster.transaction(relations=["ledger"]) as txn:
+        led.insert(txn, {"id": 0, "total": 0})
+    return acc, led
+
+
+class TestTopology:
+    def test_relations_live_on_their_pinned_node(self, cluster):
+        acc, led = load_pair(cluster)
+        assert acc.shard_id == 0 and led.shard_id == 1
+        assert cluster.nodes[0].db.catalog.has_relation("accounts")
+        assert not cluster.nodes[0].db.catalog.has_relation("ledger")
+        assert cluster.nodes[1].db.catalog.has_relation("ledger")
+
+    def test_indexes_live_with_their_relation(self, cluster):
+        load_pair(cluster)
+        cluster.create_index("by_balance", "accounts", "balance")
+        names = [d.name for d in cluster.nodes[0].db.catalog.indexes()]
+        assert "by_balance" in names
+        assert not any(
+            d.name == "by_balance" for d in cluster.nodes[1].db.catalog.indexes()
+        )
+        cluster.drop_index("by_balance")
+        assert not any(
+            d.name == "by_balance" for d in cluster.nodes[0].db.catalog.indexes()
+        )
+
+    def test_drop_relation_unpins(self, cluster):
+        load_pair(cluster)
+        cluster.drop_relation("ledger")
+        assert "ledger" not in cluster.router.placement()
+        assert not cluster.nodes[1].db.catalog.has_relation("ledger")
+
+    def test_single_shard_txn_runs_on_owning_node(self, cluster):
+        acc, _ = load_pair(cluster)
+        before = cluster.nodes[1].db.slb.commits
+        with cluster.transaction(relations=["accounts"]) as txn:
+            row = acc.lookup(txn, 0)
+            acc.update(txn, row.address, {"balance": 1})
+        # The other node saw nothing: no commit, no log records.
+        assert cluster.nodes[1].db.slb.commits == before
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ShardingError, match="unknown engine"):
+            ShardedDatabase(shards=2, engine="warp")
+
+
+class TestRoutingGuards:
+    def test_plain_txn_cannot_touch_foreign_relation(self, cluster):
+        acc, led = load_pair(cluster)
+        with pytest.raises(ShardingError, match="declare"):
+            with cluster.transaction(relations=["accounts"]) as txn:
+                led.lookup(txn, 0)
+
+    def test_distributed_txn_needs_declared_branch(self, cluster):
+        acc, led = load_pair(cluster)
+        extra = cluster.create_relation("extra", ACCOUNT_SCHEMA, "id", shard=1)
+        with pytest.raises(ShardingError, match="no branch"):
+            with cluster.transaction(relations=["accounts", "ledger"]) as txn:
+                # 'extra' lives on shard 1 which *is* a participant, but a
+                # relation must still resolve through a declared branch —
+                # here we fake a miss by asking for a shard outside the set.
+                txn.branch(5)
+
+
+class TestCrossShard:
+    def test_cross_shard_commit_and_query(self, cluster):
+        acc, led = load_pair(cluster)
+        with cluster.transaction(relations=["accounts", "ledger"]) as txn:
+            row = acc.lookup(txn, 0)
+            acc.update(txn, row.address, {"balance": row["balance"] - 25})
+            t = led.lookup(txn, 0)
+            led.update(txn, t.address, {"total": t["total"] + 25})
+        stats = cluster.twopc.stats()
+        assert stats["distributed_committed"] == 1
+        assert stats["nodes"]["prepares"] == 2
+        assert stats["nodes"]["decisions_logged"] == 1
+        # Fully acknowledged decisions are forgotten.
+        assert cluster.twopc.decision_table(0) == {}
+        with cluster.transaction(relations=["accounts", "ledger"]) as txn:
+            assert acc.query().sum(txn, "balance") == 375
+            assert led.lookup(txn, 0)["total"] == 25
+
+    def test_cross_shard_abort_rolls_back_everywhere(self, cluster):
+        acc, led = load_pair(cluster)
+        with pytest.raises(RuntimeError, match="boom"):
+            with cluster.transaction(relations=["accounts", "ledger"]) as txn:
+                row = acc.lookup(txn, 0)
+                acc.update(txn, row.address, {"balance": 0})
+                raise RuntimeError("boom")
+        with cluster.transaction(relations=["accounts"]) as txn:
+            assert acc.lookup(txn, 0)["balance"] == 100
+        stats = cluster.twopc.stats()
+        assert stats["distributed_aborted"] == 1
+        # Presumed abort: nothing was ever logged for the failed txn.
+        assert stats["nodes"]["decisions_logged"] == 0
+
+
+class TestObservability:
+    def test_stats_aggregate_and_per_shard(self, cluster):
+        load_pair(cluster)
+        stats = cluster.stats()
+        assert stats["shards"]["count"] == 2
+        assert set(stats["shards"]["per_shard"]) == {0, 1}
+        assert stats["shards"]["per_shard"][0]["shard_id"] == 0
+        assert stats["transactions_committed"] == sum(
+            s["transactions_committed"]
+            for s in stats["shards"]["per_shard"].values()
+        )
+        assert "twopc" in stats and "pending" in stats["twopc"]
+
+    def test_snapshot_and_report(self, cluster):
+        load_pair(cluster)
+        snap = cluster.snapshot()
+        assert snap["shards"]["count"] == 2
+        assert snap["per_shard"][0]["shard"] == {"id": 0, "sharded": True}
+        report = cluster.report()
+        assert "sharded cluster: 2 nodes" in report
+        assert "node 0" in report and "node 1" in report
+
+    def test_node_monitor_reports_shard_identity(self, cluster):
+        assert "shard               node 1" in cluster.nodes[1].monitor.report()
+
+
+class TestShardedScheduler:
+    def test_routes_and_preserves_submission_order(self, cluster):
+        acc, led = load_pair(cluster)
+        sched = ShardedScheduler(cluster)
+
+        def local(txn):
+            row = acc.lookup(txn, 0)
+            yield
+            acc.update(txn, row.address, {"balance": row["balance"] + 1})
+
+        def cross(txn):
+            row = acc.lookup(txn, 1)
+            yield
+            acc.update(txn, row.address, {"balance": row["balance"] - 5})
+            t = led.lookup(txn, 0)
+            led.update(txn, t.address, {"total": t["total"] + 5})
+
+        sched.submit(local, relations=["accounts"], name="l0")
+        sched.submit(cross, relations=["accounts", "ledger"], name="x0")
+        sched.submit(local, relations=["accounts"], name="l1")
+        results = sched.run()
+        assert [r.name for r in results] == ["l0", "x0", "l1"]
+        assert all(r.committed for r in results)
+        stats = sched.stats()
+        assert stats["cross_shard"]["committed"] == 1
+        assert 0 in stats["single_shard"]
+
+    def test_cross_conflict_retries_under_no_wait(self, cluster):
+        acc, led = load_pair(cluster)
+        sched = ShardedScheduler(cluster, max_attempts=50)
+
+        def contender(txn):
+            row = acc.lookup(txn, 0)
+            yield
+            acc.update(txn, row.address, {"balance": row["balance"] - 1})
+            yield
+            t = led.lookup(txn, 0)
+            led.update(txn, t.address, {"total": t["total"] + 1})
+
+        for i in range(4):
+            sched.submit(
+                contender, relations=["accounts", "ledger"], name=f"c{i}"
+            )
+        results = sched.run()
+        assert all(r.committed for r in results)
+        with cluster.transaction(relations=["ledger"]) as txn:
+            assert led.lookup(txn, 0)["total"] == 4
+
+
+class TestDegenerateSingleShard:
+    def test_shards_one_digest_identical_to_standalone(self):
+        """The tentpole's degeneracy claim: one shard, same bits."""
+
+        def drive(facade_like, scheduler):
+            acc = facade_like.create_relation(
+                "accounts", ACCOUNT_SCHEMA, "id"
+            )
+            with facade_like.transaction(relations=["accounts"]) as txn:
+                for i in range(8):
+                    acc.insert(txn, {"id": i, "balance": 100})
+
+            def transfer(src, dst):
+                def script(txn):
+                    row = acc.lookup(txn, src)
+                    yield
+                    acc.update(
+                        txn, row.address, {"balance": row["balance"] - 7}
+                    )
+                    yield
+                    row2 = acc.lookup(txn, dst)
+                    acc.update(
+                        txn, row2.address, {"balance": row2["balance"] + 7}
+                    )
+
+                return script
+
+            for i in range(6):
+                scheduler.submit(transfer(i, (i + 1) % 8), name=f"t{i}")
+
+        seed_db = Database(small_config())
+        seed_sched = ConcurrentScheduler(seed_db)
+        drive(seed_db, seed_sched)
+        seed_sched.run()
+
+        cluster = ShardedDatabase(shards=1, config=small_config(), engine="sim")
+        cluster_sched = ShardedScheduler(cluster)
+
+        class _Submit:
+            """Adapts the sharded submit(script, relations, name) shape."""
+
+            def submit(self, script, name=None):
+                cluster_sched.submit(script, relations=["accounts"], name=name)
+
+        drive(cluster, _Submit())
+        cluster_sched.run()
+
+        try:
+            assert logical_digest(seed_db) == logical_digest(cluster.nodes[0].db)
+            # Identical commit/abort history, not just identical state.
+            assert seed_db.slb.commits == cluster.nodes[0].db.slb.commits
+            assert seed_db.slb.aborts == cluster.nodes[0].db.slb.aborts
+        finally:
+            seed_db.close()
+            cluster.close()
+
+    def test_shards_one_crash_recovery_digest_identical(self):
+        def load(db_like):
+            acc = db_like.create_relation("accounts", ACCOUNT_SCHEMA, "id")
+            with db_like.transaction(relations=["accounts"]) as txn:
+                for i in range(10):
+                    acc.insert(txn, {"id": i, "balance": i * 3})
+
+        seed_db = Database(small_config())
+        load(seed_db)
+        seed_db.crash()
+        seed_db.restart()
+        seed_db.restart_coordinator.recover_everything()
+
+        cluster = ShardedDatabase(shards=1, config=small_config(), engine="sim")
+        load(cluster)
+        cluster.crash()
+        cluster.restart()
+        cluster.recover_everything()
+
+        try:
+            assert logical_digest(seed_db) == logical_digest(cluster.nodes[0].db)
+        finally:
+            seed_db.close()
+            cluster.close()
+
+
+class TestShardedBankWorkload:
+    def test_conservation_holds_under_mixed_transfers(self):
+        cluster = ShardedDatabase(shards=3, config=small_config(), engine="sim")
+        try:
+            bank = ShardedBankWorkload(
+                cluster, accounts_per_shard=8, cross_ratio=0.5, seed=3
+            )
+            bank.load()
+            sched = ShardedScheduler(cluster, max_attempts=100)
+            bank.submit(sched, 24)
+            results = sched.run()
+            assert all(r.committed for r in results)
+            totals = bank.check_invariants()
+            # The seeded mix actually produced cross-shard traffic.
+            assert sum(t["outgoing"] for t in totals.values()) > 0
+        finally:
+            cluster.close()
