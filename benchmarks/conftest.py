@@ -15,6 +15,22 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--logging-mode",
+        action="store",
+        default="value",
+        choices=("value", "command", "adaptive"),
+        help="Transaction logging mode for benchmarks that take it as an "
+        "axis (bench_recovery_vs_log_accumulation).",
+    )
+
+
+@pytest.fixture()
+def logging_mode(request):
+    return request.config.getoption("--logging-mode")
+
+
 @pytest.fixture()
 def report():
     """Print a titled block that survives pytest's capture when -s is on."""

@@ -79,6 +79,11 @@ class RelationDescriptor:
     primary_key: str
     index_names: list[str] = field(default_factory=list)
     partitions: dict[int, PartitionInfo] = field(default_factory=dict)
+    #: Highest command sequence number whose effects are fully reflected
+    #: in this relation's checkpoint images (docs/LOGGING.md).  Updated
+    #: atomically for a whole declared closure by settlement sweeps;
+    #: commands at or below the watermark are settled and never replayed.
+    command_watermark: int = 0
     #: Catalog entity holding this descriptor (assigned at store time).
     entity: EntityAddress | None = None
 
@@ -98,6 +103,7 @@ class RelationDescriptor:
                 "primary_key": self.primary_key,
                 "indexes": self.index_names,
                 "partitions": [p.to_json() for p in self.partitions.values()],
+                "command_watermark": self.command_watermark,
             },
             sort_keys=True,
         ).encode("utf-8")
@@ -115,6 +121,7 @@ class RelationDescriptor:
             primary_key=doc["primary_key"],
             index_names=list(doc["indexes"]),
             partitions=partitions,
+            command_watermark=doc.get("command_watermark", 0),
             entity=entity,
         )
 

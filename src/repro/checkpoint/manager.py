@@ -24,9 +24,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.common.errors import CatalogError, NotResidentError, TransactionAborted
+from repro.common.types import PartitionAddress
 from repro.concurrency.locks import LockMode
 from repro.checkpoint.protocol import CheckpointRequest, RequestState
+from repro.recovery.replay_plan import decode_live_commands, relation_closure
 from repro.sim.chaos import crash_point, register_crash_point
+from repro.wal.records import SweepMarker, TxnCommand
 
 register_crash_point(
     "checkpoint.begin",
@@ -52,6 +55,10 @@ register_crash_point(
     "checkpoint.committed",
     "step 6b: checkpoint transaction committed, flag not yet FINISHED",
 )
+register_crash_point(
+    "checkpoint.sweep.markers-appended",
+    "sweep: per-partition markers on the chain, transaction uncommitted",
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.database import Database
@@ -67,6 +74,8 @@ class CheckpointManager:
         self.db = db
         self.checkpoints_taken = 0
         self.checkpoints_deferred = 0
+        self.sweeps_taken = 0
+        self.commands_settled = 0
 
     def process_pending(self, limit: int | None = None) -> int:
         """Run checkpoint transactions for queued requests.
@@ -79,9 +88,37 @@ class CheckpointManager:
         for request in self.db.checkpoint_queue.pending():
             if limit is not None and done >= limit:
                 break
-            if self._run_one(request):
+            if request.state is not RequestState.REQUEST:
+                # An earlier sweep in this pass already checkpointed this
+                # partition and flipped its entry to FINISHED.
+                continue
+            closure, commands = self._command_closure_for(request)
+            if commands:
+                if self._run_group(request, closure, commands):
+                    done += 1
+            elif self._run_one(request):
                 done += 1
         return done
+
+    def _command_closure_for(
+        self, request: CheckpointRequest
+    ) -> tuple[list[str], list[TxnCommand]]:
+        """The live-command closure a request's relation belongs to.
+
+        Non-empty commands mean a plain checkpoint of this partition must
+        escalate to a group settlement sweep: copying one partition of a
+        relation with live commands would tear a command's effects across
+        image and re-execution (docs/LOGGING.md)."""
+        db = self.db
+        segment_id = request.partition.segment
+        if segment_id == db.catalog.segment.segment_id:
+            return [], []  # catalog changes are always value-logged
+        commands = decode_live_commands(db)
+        if not commands:
+            return [], []
+        relation = db.catalog.relation_of_segment(segment_id)
+        relations, batch = relation_closure(commands, relation.name)
+        return sorted(relations), batch
 
     def _run_one(self, request: CheckpointRequest) -> bool:
         db = self.db
@@ -125,6 +162,146 @@ class CheckpointManager:
         request.state = RequestState.FINISHED
         self.checkpoints_taken += 1
         return True
+
+    # -- group settlement sweep (docs/LOGGING.md) --------------------------------------
+
+    def _run_group(
+        self,
+        request: CheckpointRequest,
+        closure: list[str],
+        commands: list[TxnCommand],
+    ) -> bool:
+        """Checkpoint a whole declared closure atomically, settling its
+        live commands.
+
+        Unlike the single-partition procedure, the SHARED relation locks on
+        the *entire* closure are held through the commit point: every
+        partition of every closure relation (and index) is copied from the
+        same transaction-consistent cut, a :class:`SweepMarker` carrying
+        the captured command watermark is appended to each copied
+        partition's stream while nothing else can write to it, and the
+        descriptors' ``command_watermark`` advance together.  After commit,
+        commands at or below the watermark are pruned from the stable
+        command log — their effects now live in the images.
+        """
+        db = self.db
+        crash_point("checkpoint.begin")
+        request.state = RequestState.IN_PROGRESS
+        txn = db.transactions.begin(system=True)
+        try:
+            relation_descriptors = sorted(
+                (db.catalog.relation(name) for name in closure),
+                key=lambda descriptor: descriptor.segment_id,
+            )
+            for descriptor in relation_descriptors:
+                txn.lock_relation(descriptor.segment_id, LockMode.SHARED)
+            crash_point("checkpoint.locked")
+            watermark = db.slb.command_seq
+            members = []
+            for descriptor in relation_descriptors:
+                members.append(descriptor)
+                members.extend(
+                    db.catalog.index(index_name)
+                    for index_name in descriptor.index_names
+                )
+            # Copy everything first: a partition awaiting recovery defers
+            # the whole sweep before any catalog state has been touched.
+            copies: list[tuple[object, int, bytes]] = []
+            for member in members:
+                for number in sorted(member.partitions):
+                    address = PartitionAddress(member.segment_id, number)
+                    image = db.memory.partition(address).to_bytes()
+                    db.main_cpu.charge(
+                        COPY_INSTRUCTIONS_PER_BYTE * len(image), "checkpoint-copy"
+                    )
+                    copies.append((member, number, image))
+            crash_point("checkpoint.copied")
+            previous: dict[PartitionAddress, int | None] = {}
+            for member, number, _ in copies:
+                slot = db.checkpoint_disk.allocate(txn.txn_id)
+                info = member.partitions[number]
+                previous[PartitionAddress(member.segment_id, number)] = (
+                    info.checkpoint_slot
+                )
+                info.checkpoint_slot = slot
+            for descriptor in relation_descriptors:
+                descriptor.command_watermark = watermark
+            for member in members:
+                db.catalog.update(member, txn)
+            crash_point("checkpoint.slot-installed")
+            for member, number, image in copies:
+                db.checkpoint_disk.write_image(
+                    member.partitions[number].checkpoint_slot, image
+                )
+            crash_point("checkpoint.image-written")
+            # One marker per copied partition, through this transaction's
+            # own chain while the closure locks still exclude writers: the
+            # marker's stream position is exactly the image point.
+            for member, number, _ in copies:
+                address = PartitionAddress(member.segment_id, number)
+                db.append_log(
+                    txn.txn_id,
+                    SweepMarker(
+                        txn.txn_id, db.slt.bin_index_of(address), address, watermark
+                    ),
+                )
+            crash_point("checkpoint.sweep.markers-appended")
+            txn.commit()  # releases the closure locks after the commit point
+            crash_point("checkpoint.committed")
+        except (TransactionAborted, NotResidentError):
+            if txn.state.value == "active":
+                txn.abort()
+            request.state = RequestState.REQUEST
+            request.previous_slot = None
+            self.checkpoints_deferred += 1
+            return False
+        settled = [record.csn for record in commands if record.csn <= watermark]
+        db.slb.discard_commands(settled)
+        for member, number, _ in copies:
+            address = PartitionAddress(member.segment_id, number)
+            db.checkpoint_queue.finish_for(
+                address, db.slt.bin_index_of(address), previous[address]
+            )
+        self.checkpoints_taken += 1
+        self.sweeps_taken += 1
+        self.commands_settled += len(settled)
+        return True
+
+    def settle_relation(self, name: str) -> int:
+        """Force settlement of every live command whose closure includes
+        ``name`` — the DDL fence: a relation cannot be dropped or change
+        shape while a logged command might still re-execute against it.
+
+        Returns the number of commands settled.  Retries around lock
+        conflicts a bounded number of times, then surfaces the conflict.
+        """
+        db = self.db
+        settled_total = 0
+        attempts = 0
+        while True:
+            relations, batch = relation_closure(decode_live_commands(db), name)
+            if not batch:
+                return settled_total
+            probe = CheckpointRequest(PartitionAddress(-1, -1), -1, "ddl-settlement")
+            if self._run_group(probe, sorted(relations), batch):
+                settled_total += len(batch)
+                attempts = 0
+                # Drain the sweep's markers (and any undrained barriers)
+                # into their bins and acknowledge the finished entries
+                # now: the caller is about to drop those bins, and neither
+                # a committed record nor a FINISHED queue entry may
+                # outlive its bin.
+                db.engine.drain_log()
+                db.recovery_processor.acknowledge_finished()
+                continue
+            attempts += 1
+            if attempts >= 8:
+                raise TransactionAborted(
+                    f"could not settle live commands on relation {name!r}: "
+                    f"closure relations stayed lock-busy",
+                    txn_id=-1,
+                )
+            db.engine.drain_log()
 
     def _lock_segment_for(self, request: CheckpointRequest) -> int:
         """The segment whose relation-level lock covers this partition."""

@@ -80,6 +80,30 @@ class CheckpointQueue:
         with self._mutex:
             self._entries().remove(request)
 
+    def finish_for(
+        self,
+        partition: PartitionAddress,
+        bin_index: int,
+        previous_slot: int | None,
+        reason: str = "sweep",
+    ) -> None:
+        """Mark the entry for ``partition`` FINISHED, creating one if none
+        exists: a group settlement sweep checkpoints every partition of a
+        declared closure, including ones that never requested it, and each
+        copied partition needs a FINISHED entry so the recovery CPU flushes
+        its leftovers and resets its bin."""
+        with self._mutex:
+            for entry in self._entries():
+                if entry.partition == partition:
+                    entry.state = RequestState.FINISHED
+                    entry.previous_slot = previous_slot
+                    return
+            self._entries().append(
+                CheckpointRequest(
+                    partition, bin_index, reason, RequestState.FINISHED, previous_slot
+                )
+            )
+
     def revert_in_progress(self) -> int:
         """Post-crash: in-progress checkpoints died with the main CPU."""
         with self._mutex:

@@ -17,6 +17,7 @@ regular memory.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigurationError
@@ -171,6 +172,22 @@ class SystemConfig:
     #: device fault escalates to a hard ``MediaFailure`` (0 = escalate on
     #: the first fault).  Shared by the log and checkpoint disks.
     io_retry_budget: int = 4
+    #: Default per-transaction logging mode: ``"value"`` (after-images,
+    #: the paper's scheme), ``"command"`` (one TxnCommand record per
+    #: registered script, docs/LOGGING.md), or ``"adaptive"`` (value
+    #: execution, converted to a command record at commit when the
+    #: after-image bytes reach ``adaptive_log_threshold``).  Overridable
+    #: per call on :meth:`Database.run_script`.  The ``REPRO_LOGGING_MODE``
+    #: environment variable sets the default for configs that do not pass
+    #: it explicitly (the CI logging-mode matrix axis, mirroring
+    #: ``REPRO_ENGINE``).
+    logging_mode: str = field(
+        default_factory=lambda: os.environ.get("REPRO_LOGGING_MODE", "value")
+    )
+    #: Adaptive mode converts a declared transaction to command logging
+    #: when its after-image chain reaches this many bytes; below it the
+    #: value chain is cheaper than a command record plus barriers.
+    adaptive_log_threshold: int = 256
     #: Disk model used for the log disks.
     log_disk: DiskParameters = field(default_factory=DiskParameters)
     #: Disk model used for the checkpoint disks.
@@ -201,6 +218,12 @@ class SystemConfig:
             raise ConfigurationError("log_page_cache_pages cannot be negative")
         if self.io_retry_budget < 0:
             raise ConfigurationError("io_retry_budget cannot be negative")
+        if self.logging_mode not in ("value", "command", "adaptive"):
+            raise ConfigurationError(
+                "logging_mode must be 'value', 'command', or 'adaptive'"
+            )
+        if self.adaptive_log_threshold <= 0:
+            raise ConfigurationError("adaptive_log_threshold must be positive")
 
     @property
     def records_per_page(self) -> int:

@@ -32,6 +32,7 @@ section 2.5.
 
 from __future__ import annotations
 
+import json
 import threading
 
 from repro.catalog.catalog import (
@@ -47,6 +48,7 @@ from repro.checkpoint.protocol import CheckpointQueue
 from repro.common.config import SystemConfig
 from repro.common.errors import (
     CatalogError,
+    ConfigurationError,
     RecoveryError,
     StorageError,
 )
@@ -67,10 +69,12 @@ from repro.sim.cpu import CpuMeter
 from repro.sim.disk import DuplexedDisk, SimulatedDisk
 from repro.sim.faults import RetryPolicy
 from repro.sim.stable_memory import StableMemory
+from repro.sim.faults import SimulatedCrash
 from repro.storage.memory_manager import MemoryManager
 from repro.storage.partition import Partition
 from repro.txn.manager import TransactionManager
-from repro.txn.transaction import Transaction
+from repro.txn.registry import ScriptRegistry
+from repro.txn.transaction import Transaction, TxnState
 from repro.txn.twopc import TwoPCStats
 from repro.wal.audit import AuditLog
 from repro.wal.log_disk import LogDisk
@@ -115,6 +119,14 @@ class Database:
         #: (:func:`~repro.recovery.media.restore_after_checkpoint_media_failure`);
         #: ``None`` until one has run.
         self.last_media_restore: dict | None = None
+        #: Plan statistics of the most recent command replay
+        #: (:func:`~repro.recovery.replay_plan.replay_live_commands`);
+        #: ``None`` until a restart has run one.
+        self.last_command_replay: dict | None = None
+        #: Registered transaction scripts (docs/LOGGING.md).  Volatile —
+        #: the application re-registers at boot — but versions are
+        #: mirrored in stable memory to fence schema drift at replay.
+        self.scripts = ScriptRegistry(self.slb)
         #: Optional hook invoked as ``observer(txn)`` the instant a
         #: transaction becomes durable (used by the recovery oracle).
         self.commit_observer = None
@@ -206,7 +218,12 @@ class Database:
 
     def on_partition_allocated(self, partition: Partition, txn: Transaction) -> None:
         """A segment grew: give the partition its SLT bin and catalog it."""
-        partition.bin_index = self.slt.register_partition(partition.address)
+        if self.slt.has_partition(partition.address):
+            # Command replay re-executing the allocating script: the bin
+            # survived the crash, so reuse it instead of re-registering.
+            partition.bin_index = self.slt.bin_index_of(partition.address)
+        else:
+            partition.bin_index = self.slt.register_partition(partition.address)
         segment_id = partition.address.segment
         number = partition.address.partition
         if segment_id == self.catalog.segment.segment_id:
@@ -214,8 +231,9 @@ class Database:
             self.publish_catalog_locations()
             return
         descriptor = self.catalog.descriptor_for_segment(segment_id)
-        descriptor.partitions[number] = PartitionInfo(number)
-        self.catalog.update(descriptor, txn)
+        if number not in descriptor.partitions:
+            descriptor.partitions[number] = PartitionInfo(number)
+            self.catalog.update(descriptor, txn)
 
     def publish_catalog_locations(self) -> None:
         """Duplicate the catalog partition address list into both stable
@@ -253,6 +271,77 @@ class Database:
                 self.pump()
 
         return _scope()
+
+    # -- scripted transactions (docs/LOGGING.md) -----------------------------------------------
+
+    def register_script(self, name, fn, *, relations, version: str = "1"):
+        """Register a command-loggable transaction script (see
+        :class:`~repro.txn.registry.ScriptRegistry`)."""
+        return self.scripts.register(name, fn, relations=relations, version=version)
+
+    def run_script(
+        self,
+        name: str,
+        *args,
+        logging: str | None = None,
+        pump: bool = True,
+    ):
+        """Run a registered script as one transaction, logged per mode.
+
+        ``logging`` overrides ``config.logging_mode`` for this call:
+        ``"value"`` logs after-images as usual; ``"command"`` logs one
+        compact TxnCommand record instead; ``"adaptive"`` executes under
+        value logging and converts at commit when the after-image bytes
+        reach ``config.adaptive_log_threshold``.  Shard nodes always run
+        value-logged — their transactions may be drafted into 2PC, which
+        local re-execution cannot replay.
+
+        Command and adaptive runs take exclusive relation locks on the
+        script's whole declared list up front (sorted by segment id), the
+        isolation that makes replay re-execution deterministic.  ``args``
+        must round-trip through JSON.  Returns the script's return value.
+        """
+        info = self.scripts.get(name)
+        mode = logging if logging is not None else self.config.logging_mode
+        if mode not in ("value", "command", "adaptive"):
+            raise ConfigurationError(
+                "logging must be 'value', 'command', or 'adaptive'"
+            )
+        if self.shard_id is not None:
+            mode = "value"
+        if self.restart_coordinator is not None:
+            for relation_name in info.relations:
+                self.restart_coordinator.recover_relation(relation_name)
+        command = None
+        if mode != "value":
+            command = (info.name, info.version, json.dumps(list(args)).encode("utf-8"))
+        txn = self.transactions.begin(
+            logging_mode=mode,
+            command=command,
+            declared_relations=info.relations,
+        )
+        try:
+            if command is not None:
+                for relation_name in sorted(
+                    info.relations, key=lambda n: self.catalog.relation(n).segment_id
+                ):
+                    txn.lock_relation(
+                        self.catalog.relation(relation_name).segment_id,
+                        LockMode.EXCLUSIVE,
+                    )
+            result = info.fn(txn, *args)
+        except SimulatedCrash:
+            # as in TransactionManager.scope: a crash is not an abort
+            raise
+        except BaseException:
+            if txn.state is TxnState.ACTIVE:
+                txn.abort()
+            raise
+        if txn.state is TxnState.ACTIVE:
+            txn.commit()
+        if pump:
+            self.pump()
+        return result
 
     # -- DDL -----------------------------------------------------------------------------------
 
@@ -295,6 +384,9 @@ class Database:
         self, index_name: str, relation_name: str, field: str, kind: str = "ttree"
     ) -> None:
         """Create a secondary index and backfill it from existing tuples."""
+        # DDL fence: replaying a command logged before this index existed
+        # would re-maintain the index on top of the value-logged backfill.
+        self.checkpoints.settle_relation(relation_name)
         with self.transactions.scope() as txn:
             txn.lock_relation(self.catalog.segment.segment_id, LockMode.INTENT_EXCLUSIVE)
             self._create_index_in_txn(txn, index_name, relation_name, field, kind)
@@ -337,6 +429,9 @@ class Database:
         descriptor = self.catalog.index(index_name)
         if index_name.endswith("__pk"):
             raise CatalogError("primary-key indexes cannot be dropped")
+        # DDL fence: live commands expect this index among their barrier
+        # targets at replay; settle them before changing the shape.
+        self.checkpoints.settle_relation(descriptor.relation_name)
         with self.transactions.scope() as txn:
             txn.lock_relation(self.catalog.segment.segment_id, LockMode.INTENT_EXCLUSIVE)
             txn.lock_relation(descriptor.segment_id, LockMode.EXCLUSIVE)
@@ -352,6 +447,9 @@ class Database:
 
     def drop_relation(self, name: str) -> None:
         """Drop a relation, its indexes, and all of their partitions."""
+        # DDL fence: a live command declaring this relation would have
+        # nothing to re-execute against at replay.
+        self.checkpoints.settle_relation(name)
         descriptor = self.catalog.relation(name)
         index_descriptors = list(self.catalog.indexes_of(name))
         with self.transactions.scope() as txn:
@@ -534,8 +632,31 @@ class Database:
             "resident_partitions": self.memory.resident_partition_count(),
             "log_page_cache_hits": self.log_disk.cache_hits,
             "media_restore": self.last_media_restore,
+            "logging": self.logging_stats(),
             "transient_io": {
                 "log": self.log_disk.io_stats.snapshot(),
                 "checkpoint": self.checkpoint_disk.io_stats.snapshot(),
             },
+        }
+
+    def logging_stats(self) -> dict:
+        """Per-mode logging observability (docs/LOGGING.md): commits and
+        stable log bytes per mode, bytes/txn, command-log state, sweep
+        counters, and the last restart's replay plan."""
+        mode_commits, mode_bytes = self.slb.mode_stats()
+        per_txn = {
+            mode: mode_bytes.get(mode, 0) / commits
+            for mode, commits in mode_commits.items()
+            if commits
+        }
+        return {
+            "mode": self.config.logging_mode,
+            "mode_commits": mode_commits,
+            "mode_bytes": mode_bytes,
+            "log_bytes_per_txn": per_txn,
+            "command_seq": self.slb.command_seq,
+            "live_commands": len(self.slb.live_commands()),
+            "sweeps_taken": self.checkpoints.sweeps_taken,
+            "commands_settled": self.checkpoints.commands_settled,
+            "command_replay": self.last_command_replay,
         }

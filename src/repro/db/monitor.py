@@ -35,10 +35,13 @@ class Monitor:
         system is up, crashed, or mid-restart.
         """
         db = self.db
+        # Mode counters live behind the SLB mutex; fetch them before the
+        # view lock so the snapshot never nests the two.
+        modes = db.logging_stats()
         with db.view_lock:
-            return self._snapshot_locked()
+            return self._snapshot_locked(modes)
 
-    def _snapshot_locked(self) -> dict:
+    def _snapshot_locked(self, modes: dict) -> dict:
         db = self.db
         return {
             "engine": db.engine.name,
@@ -73,6 +76,7 @@ class Monitor:
                 "next_lsn": db.log_disk.next_lsn,
                 "active_bins": len(db.slt.active_bins()),
                 "page_cache_hits": db.log_disk.cache_hits,
+                "modes": modes,
             },
             "checkpoints": {
                 "taken": db.checkpoints.checkpoints_taken,
@@ -167,6 +171,31 @@ class Monitor:
             f"({snap['logging']['archive_pages']} archive), window "
             f"[{snap['logging']['window_start']}, {snap['logging']['next_lsn']})",
             f"  active bins       {snap['logging']['active_bins']}",
+        ]
+        modes = snap["logging"]["modes"]
+        if modes["mode_commits"]:
+            per_mode = ", ".join(
+                f"{mode} {count}"
+                f" ({modes['log_bytes_per_txn'].get(mode, 0):.0f} B/txn)"
+                for mode, count in sorted(modes["mode_commits"].items())
+            )
+            lines.append(f"  mode commits      {per_mode}")
+        if modes["command_seq"]:
+            lines.append(
+                f"  command log       {modes['live_commands']} live / "
+                f"{modes['command_seq']} issued, "
+                f"{modes['commands_settled']} settled in "
+                f"{modes['sweeps_taken']} sweeps"
+            )
+        replay = modes["command_replay"]
+        if replay is not None:
+            lines.append(
+                f"  command replay    {replay['commands_replayed']} replayed "
+                f"({replay['commands_skipped']} settled) in "
+                f"{replay['batches']} batches @ "
+                f"{replay['replay_workers']} workers"
+            )
+        lines += [
             "--- checkpoints",
             f"  taken/deferred    {snap['checkpoints']['taken']} / "
             f"{snap['checkpoints']['deferred']}",

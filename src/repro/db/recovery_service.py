@@ -14,6 +14,7 @@ import enum
 from typing import TYPE_CHECKING
 
 from repro.common.errors import RecoveryError
+from repro.recovery.replay_plan import replay_live_commands
 from repro.recovery.restart import RestartCoordinator
 from repro.wal.records import TxnPrepare, decode_control
 
@@ -98,6 +99,11 @@ class RecoveryService:
         coordinator.restore_system_state()
         db.restart_coordinator = coordinator
         db.crashed = False
+        # Command replay runs unconditionally between the phases: the live
+        # command-log suffix is re-executed (in dependency-batched parallel
+        # under a worker engine) before any user transaction — or an eager
+        # bulk restore — can observe a closure partition.
+        replay_live_commands(db)
         if mode is RecoveryMode.EAGER:
             coordinator.recover_everything()
         return coordinator

@@ -26,7 +26,7 @@ from repro.common.types import NULL_LSN, PartitionAddress
 from repro.sim.faults import TornWriteError
 from repro.storage.partition import Partition
 from repro.wal.log_disk import LogDisk, LogPage
-from repro.wal.records import RedoRecord
+from repro.wal.records import RedoRecord, SweepMarker
 from repro.wal.slt import PartitionBin, StableLogTail
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -65,6 +65,66 @@ def enumerate_log_pages(
     return lsns, cache, backward_reads
 
 
+def cut_settled_prefix(
+    records: list[RedoRecord], command_watermark: int
+) -> list[RedoRecord]:
+    """Drop the stream prefix already reflected in a settled image.
+
+    A settlement sweep (docs/LOGGING.md) copies every partition of a
+    command closure and appends a :class:`SweepMarker` carrying the new
+    watermark to each partition's stream *while still holding the closure
+    locks*, so the marker's position is exactly the image point.  Records
+    before the last marker matching the owning relation's watermark are
+    already inside the image — re-applying them over it would regress
+    state past command effects the image contains but the value stream
+    does not.  Markers with older watermarks (earlier sweeps) deeper in
+    the stream are harmless no-ops and are simply cut along with the rest.
+    """
+    if command_watermark <= 0:
+        return records
+    cut = 0
+    for position, record in enumerate(records):
+        if isinstance(record, SweepMarker) and record.watermark == command_watermark:
+            cut = position + 1
+    return records[cut:]
+
+
+def partition_record_stream(
+    address: PartitionAddress,
+    log_disk: LogDisk,
+    slt: StableLogTail,
+) -> tuple[list[RedoRecord], dict]:
+    """The partition's full REDO stream in original write order.
+
+    Flushed log pages (directory walk, forward read) followed by the
+    records still buffered in the partition's SLT bin.  Shared by
+    :func:`rebuild_partition` and the command replay planner, which needs
+    the records as a *list* so it can interleave command re-execution at
+    the barrier records instead of applying straight through.
+    """
+    if not slt.has_partition(address):
+        raise RecoveryError(f"{address} has no Stable Log Tail bin")
+    bin_ = slt.bin_for_partition(address)
+    records: list[RedoRecord] = []
+    stats = {"pages_read": 0, "backward_reads": 0}
+    if bin_.first_page_lsn != NULL_LSN:
+        lsns, cache, backward_reads = enumerate_log_pages(bin_, log_disk)
+        stats["backward_reads"] = backward_reads
+        for lsn in lsns:
+            page = cache.get(lsn)
+            if page is None:
+                page = log_disk.read_page(lsn, expected=address)
+                stats["pages_read"] += 1
+            if page.partition != address:
+                raise RecoveryError(
+                    f"log page {page.lsn} belongs to {page.partition}, "
+                    f"recovering {address}"
+                )
+            records.extend(page.records)
+    records.extend(bin_.buffer)
+    return records, stats
+
+
 def rebuild_partition(
     address: PartitionAddress,
     checkpoint_slot: int | None,
@@ -73,8 +133,14 @@ def rebuild_partition(
     slt: StableLogTail,
     partition_size: int,
     heap_fraction: float = 0.25,
+    command_watermark: int = 0,
 ) -> tuple[Partition, dict]:
     """Recover one partition to its pre-crash committed state.
+
+    ``command_watermark`` is the owning relation's settled watermark;
+    when positive, the stream prefix up to the matching sweep marker is
+    discarded (see :func:`cut_settled_prefix`) because those records are
+    already inside the image being loaded.
 
     Returns the partition plus a statistics dict (pages read, backward
     reads, records applied) consumed by the recovery benchmarks.
@@ -85,24 +151,12 @@ def rebuild_partition(
     else:
         # Never checkpointed: the log replays against an empty partition.
         partition = Partition(address, partition_size, heap_fraction)
-    stats = {"pages_read": 0, "backward_reads": 0, "records_applied": 0}
-    if not slt.has_partition(address):
-        raise RecoveryError(f"{address} has no Stable Log Tail bin")
-    bin_ = slt.bin_for_partition(address)
-    if bin_.first_page_lsn != NULL_LSN:
-        lsns, cache, backward_reads = enumerate_log_pages(bin_, log_disk)
-        stats["backward_reads"] = backward_reads
-        for lsn in lsns:
-            page = cache.get(lsn)
-            if page is None:
-                page = log_disk.read_page(lsn, expected=address)
-                stats["pages_read"] += 1
-            _apply_page(page, partition, address)
-            stats["records_applied"] += len(page.records)
-    for record in bin_.buffer:
+    records, stats = partition_record_stream(address, log_disk, slt)
+    records = cut_settled_prefix(records, command_watermark)
+    for record in records:
         record.apply(partition)
-        stats["records_applied"] += 1
-    partition.bin_index = bin_.bin_index
+    stats["records_applied"] = len(records)
+    partition.bin_index = slt.bin_for_partition(address).bin_index
     return partition, stats
 
 
@@ -115,6 +169,7 @@ def rebuild_partition_resilient(
     partition_size: int,
     heap_fraction: float = 0.25,
     pending_archive: list[RedoRecord] | None = None,
+    command_watermark: int = 0,
 ) -> tuple[Partition, dict, bool]:
     """:func:`rebuild_partition` with the unusable-image fallback folded in.
 
@@ -124,6 +179,11 @@ def rebuild_partition_resilient(
     archive-recovery path of paper section 2.6.  Returns ``(partition,
     stats, used_fallback)``; the stats dict always has the normal-path
     keys so callers aggregate uniformly.
+
+    The fallback is refused for relations with settled commands
+    (``command_watermark > 0``): settled command effects exist *only* in
+    the checkpoint images — their after-images were never value-logged —
+    so no amount of log history can rebuild them (docs/LOGGING.md).
     """
     try:
         partition, stats = rebuild_partition(
@@ -134,9 +194,17 @@ def rebuild_partition_resilient(
             slt,
             partition_size,
             heap_fraction,
+            command_watermark,
         )
         return partition, stats, False
-    except (TornWriteError, ChecksumError, StorageError, MediaFailure):
+    except (TornWriteError, ChecksumError, StorageError, MediaFailure) as exc:
+        if command_watermark > 0:
+            raise RecoveryError(
+                f"checkpoint image of {address} is unusable ({exc}) and its "
+                f"relation has settled commands (watermark "
+                f"{command_watermark}); command logging suppressed their "
+                f"after-images, so log history cannot rebuild this partition"
+            ) from exc
         # MediaFailure lands here when a checkpoint-side transient fault
         # burst exhausted its retry budget: the image is as good as lost,
         # and the full-history path below rebuilds without it.  A log-side
@@ -158,13 +226,3 @@ def rebuild_partition_resilient(
             "records_applied": media_stats["records_applied"],
         }
         return partition, stats, True
-
-
-def _apply_page(page: LogPage, partition: Partition, address: PartitionAddress) -> None:
-    if page.partition != address:
-        raise RecoveryError(
-            f"log page {page.lsn} belongs to {page.partition}, "
-            f"recovering {address}"
-        )
-    for record in page.records:
-        record.apply(partition)

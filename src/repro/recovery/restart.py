@@ -170,6 +170,7 @@ class RestartCoordinator:
                 pending_archive=db.recovery_processor.pending_archive_records(
                     address
                 ),
+                command_watermark=self._command_watermark(address),
             )
             with db.view_lock:
                 segment.install(partition)
@@ -190,6 +191,14 @@ class RestartCoordinator:
         if info is None:
             raise RecoveryError(f"{address} is not catalogued")
         return info.checkpoint_slot
+
+    def _command_watermark(self, address: PartitionAddress) -> int:
+        """The owning relation's settled-command watermark (0 for catalog
+        partitions: catalog changes are always value-logged)."""
+        db = self.db
+        if address.segment == db.catalog.segment.segment_id:
+            return 0
+        return db.catalog.relation_of_segment(address.segment).command_watermark
 
     def recover_relation(self, name: str) -> int:
         """Predeclared access (section 2.5 method 1): restore a relation's

@@ -33,11 +33,27 @@ class TransactionManager:
         self.aborted = 0
         self._mutex = threading.RLock()
 
-    def begin(self, *, system: bool = False, user_data: str = "") -> Transaction:
+    def begin(
+        self,
+        *,
+        system: bool = False,
+        user_data: str = "",
+        logging_mode: str = "value",
+        command: tuple[str, str, bytes] | None = None,
+        declared_relations: tuple[str, ...] = (),
+    ) -> Transaction:
         with self._mutex:
             txn_id = self._next_id
             self._next_id += 1
-        txn = Transaction(self.db, txn_id, system=system, user_data=user_data)
+        txn = Transaction(
+            self.db,
+            txn_id,
+            system=system,
+            user_data=user_data,
+            logging_mode=logging_mode,
+            command=command,
+            declared_relations=declared_relations,
+        )
         with self._mutex:
             self._active[txn.txn_id] = txn
         return txn

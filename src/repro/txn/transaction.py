@@ -20,7 +20,11 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING
 
-from repro.common.errors import TransactionAborted, TransactionStateError
+from repro.common.errors import (
+    StableMemoryFullError,
+    TransactionAborted,
+    TransactionStateError,
+)
 from repro.common.types import EntityAddress, PartitionAddress
 from repro.concurrency.locks import LockMode
 from repro.sim.chaos import crash_point, register_crash_point
@@ -47,6 +51,11 @@ register_crash_point(
 register_crash_point(
     "txn.commit-prepared.before-slb",
     "phase-2 commit entered, before the prepared chain joins the committed list",
+)
+register_crash_point(
+    "txn.commit.command-emitted",
+    "command record and barriers stable (commit point passed), before "
+    "locks release / undo discard",
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -82,6 +91,9 @@ class Transaction:
         *,
         system: bool = False,
         user_data: str = "",
+        logging_mode: str = "value",
+        command: "tuple[str, str, bytes] | None" = None,
+        declared_relations: "tuple[str, ...]" = (),
     ):
         self.db = db
         self.txn_id = txn_id
@@ -89,6 +101,30 @@ class Transaction:
         self.state = TxnState.ACTIVE
         self._undo: list[undo.UndoRecord] = []
         self.redo_records = 0
+        #: Logging mode this transaction runs under (docs/LOGGING.md).
+        #: ``command``/``adaptive`` are only reachable through
+        #: :meth:`Database.run_script`, which supplies ``command`` (the
+        #: script's name, version, JSON args) and the declared relation
+        #: list — and holds exclusive relation locks on all of them, the
+        #: isolation that makes script re-execution deterministic.
+        self.logging_mode = logging_mode
+        self.command = command
+        self.declared_relations = tuple(declared_relations)
+        #: Pure command mode skips the SLB append for non-catalog
+        #: records; catalog records are always value-logged (they are
+        #: recovered in restart phase 1, before any replay runs).
+        self._suppress_value = logging_mode == "command" and command is not None
+        #: Set when this branch prepares (2PC): a distributed adaptive
+        #: transaction must fall back to value logging.
+        self._adaptive_disabled = False
+        #: Bytes appended to the SLB chain / suppressed instead, and the
+        #: catalog share of the appended bytes (never suppressed).
+        self.logged_bytes = 0
+        self.catalog_bytes = 0
+        self.suppressed_records = 0
+        self.suppressed_bytes = 0
+        #: The csn assigned at a command commit (stats / tests).
+        self.command_csn: int | None = None
         db.slb.open_chain(txn_id)
         db.audit.record(txn_id, "begin", db.clock.now, user_data)
 
@@ -132,9 +168,13 @@ class Transaction:
     def commit(self) -> None:
         """Instant commit: the REDO chain is already stable."""
         self._ensure_active()
+        if self._commits_as_command():
+            self._commit_as_command()
+            return
         crash_point("txn.commit.before-slb")
         self.db.slb.commit(self.txn_id)
         self.state = TxnState.COMMITTED
+        self.db.slb.note_mode_commit(self._value_mode_label(), self.logged_bytes)
         observer = self.db.commit_observer
         if observer is not None:
             # The oracle snapshots committed state here: durable the
@@ -145,6 +185,103 @@ class Transaction:
         self.db.locks.release_all(self.txn_id)
         self.db.audit.record(self.txn_id, "commit", self.db.clock.now)
         self.db.on_transaction_finished(self)
+
+    # -- command-mode commit (docs/LOGGING.md) --------------------------------------
+
+    def _value_mode_label(self) -> str:
+        return "adaptive-value" if self.logging_mode == "adaptive" else "value"
+
+    def _commits_as_command(self) -> bool:
+        if self.command is None or not self.declared_relations:
+            return False
+        if self.logging_mode == "command":
+            return True
+        if self.logging_mode != "adaptive" or self._adaptive_disabled:
+            return False
+        # Adaptive: convert only when the after-image chain outweighs a
+        # command record; tiny transactions stay value-logged.
+        value_bytes = self.logged_bytes - self.catalog_bytes
+        return value_bytes >= self.db.config.adaptive_log_threshold
+
+    def _commit_as_command(self) -> None:
+        """Commit by emitting one TxnCommand plus per-partition barriers.
+
+        The commit point is unchanged: one stable-memory transition under
+        the SLB mutex (csn assigned, command record in the stable command
+        log, barriers on the chain, chain on the committed list).  The
+        barriers drain through the ordinary bins in commit order, marking
+        in every involved partition's stream exactly where re-execution
+        belongs relative to the surrounding value REDO.
+        """
+        db = self.db
+        targets = self._barrier_targets()
+        if self.logging_mode == "adaptive":
+            # Conversion: drop the after-images, keep the catalog records
+            # (always value-logged; recovered before any replay runs).
+            catalog_segment = db.catalog.segment.segment_id
+            db.slb.filter_chain(
+                self.txn_id,
+                lambda record: record.partition_address.segment == catalog_segment,
+            )
+        name, version, args = self.command  # type: ignore[misc]
+        emitted_bytes = [0]
+
+        def build(csn: int):
+            record = redo.TxnCommand(
+                self.txn_id, csn, name, version, args, self.declared_relations
+            )
+            payload = record.encode()
+            barriers = [
+                redo.CommandBarrier(self.txn_id, bin_index, address, csn)
+                for address, bin_index in targets
+            ]
+            emitted_bytes[0] = len(payload) + sum(b.size_bytes for b in barriers)
+            return payload, barriers
+
+        crash_point("txn.commit.before-slb")
+        try:
+            self.command_csn = db.slb.commit_command(self.txn_id, build)
+        except StableMemoryFullError:
+            # Back-pressure, as in append_log: stall while the recovery
+            # CPU frees blocks, then retry once.
+            db.engine.drain_log()
+            self.command_csn = db.slb.commit_command(self.txn_id, build)
+        self.state = TxnState.COMMITTED
+        db.slb.note_mode_commit(
+            "command" if self.logging_mode == "command" else "adaptive-command",
+            self.catalog_bytes + emitted_bytes[0],
+        )
+        observer = db.commit_observer
+        if observer is not None:
+            observer(self)
+        crash_point("txn.commit.command-emitted")
+        self._undo.clear()
+        db.locks.release_all(self.txn_id)
+        db.audit.record(self.txn_id, "commit", db.clock.now)
+        db.on_transaction_finished(self)
+
+    def _barrier_targets(self) -> list[tuple[PartitionAddress, int]]:
+        """Every partition of every declared relation (and its indexes),
+        with its bin index.
+
+        Stable between here and the commit point: the transaction holds
+        exclusive relation locks on the whole declared set, so no
+        concurrent transaction can allocate partitions in (or write to)
+        these relations.
+        """
+        db = self.db
+        targets: list[tuple[PartitionAddress, int]] = []
+        for relation_name in self.declared_relations:
+            descriptor = db.catalog.relation(relation_name)
+            descriptors = [descriptor] + [
+                db.catalog.index(index_name)
+                for index_name in descriptor.index_names
+            ]
+            for desc in descriptors:
+                for number in sorted(desc.partitions):
+                    address = PartitionAddress(desc.segment_id, number)
+                    targets.append((address, self._bin_index(address)))
+        return targets
 
     # -- two-phase commit (repro.shard) ----------------------------------------------
 
@@ -157,6 +294,14 @@ class Transaction:
         verdict arrives (:meth:`commit_prepared` / :meth:`abort_prepared`).
         """
         self._ensure_active()
+        if self.logging_mode == "command" and self.command is not None:
+            raise TransactionStateError(
+                f"txn {self.txn_id} is command-logged and cannot prepare; "
+                f"distributed transactions must use value or adaptive mode"
+            )
+        # A distributed adaptive transaction stays value-logged: its
+        # effects span shards, so local re-execution cannot replay it.
+        self._adaptive_disabled = True
         crash_point("txn.prepare.before-slb")
         self.db.slb.prepare(self.txn_id, prepare_record)
         self.state = TxnState.PREPARED
@@ -176,6 +321,7 @@ class Transaction:
         crash_point("txn.commit-prepared.before-slb")
         self.db.slb.commit_prepared(self.txn_id)
         self.state = TxnState.COMMITTED
+        self.db.slb.note_mode_commit(self._value_mode_label(), self.logged_bytes)
         self.db.twopc.bump("prepared_commits")
         observer = self.db.commit_observer
         if observer is not None:
@@ -232,17 +378,35 @@ class Transaction:
         """
         return _StatementScope(self)
 
-    def _statement_mark(self) -> tuple[int, int]:
-        return len(self._undo), self.redo_records
+    def _statement_mark(self) -> tuple[int, ...]:
+        return (
+            len(self._undo),
+            self.redo_records,
+            self.suppressed_records,
+            self.suppressed_bytes,
+            self.logged_bytes,
+            self.catalog_bytes,
+        )
 
-    def _statement_rollback(self, mark: tuple[int, int]) -> None:
-        undo_mark, redo_mark = mark
+    def _statement_rollback(self, mark: tuple[int, ...]) -> None:
+        (
+            undo_mark,
+            redo_mark,
+            suppressed_mark,
+            suppressed_bytes_mark,
+            logged_bytes_mark,
+            catalog_bytes_mark,
+        ) = mark
         suffix = self._undo[undo_mark:]
         for record in reversed(suffix):
             record.apply(self.db.memory)
         del self._undo[undo_mark:]
         self.db.slb.truncate_chain(self.txn_id, redo_mark)
         self.redo_records = redo_mark
+        self.suppressed_records = suppressed_mark
+        self.suppressed_bytes = suppressed_bytes_mark
+        self.logged_bytes = logged_bytes_mark
+        self.catalog_bytes = catalog_bytes_mark
         # as in abort(): re-sync cached index mirrors with the restored bytes
         self.db.reload_index_mirrors(_index_segments(suffix))
 
@@ -257,6 +421,14 @@ class Transaction:
         # transaction too large for the SLB) the rollback must already
         # know how to reverse it.
         self._undo.append(undo_record)
+        if self._suppress_value and not self._is_catalog_record(record):
+            # Pure command mode: this after-image is replaced by the
+            # commit-time TxnCommand record.  UNDO still accumulates
+            # (abort and statement rollback are unchanged); only the
+            # stable REDO copy is skipped.
+            self.suppressed_records += 1
+            self.suppressed_bytes += record.size_bytes
+            return
         try:
             self.db.append_log(self.txn_id, record)
         except SimulatedCrash:
@@ -271,6 +443,14 @@ class Transaction:
                 txn_id=self.txn_id,
             ) from exc
         self.redo_records += 1
+        self.logged_bytes += record.size_bytes
+        if self._is_catalog_record(record):
+            self.catalog_bytes += record.size_bytes
+
+    def _is_catalog_record(self, record: redo.RedoRecord) -> bool:
+        return (
+            record.partition_address.segment == self.db.catalog.segment.segment_id
+        )
 
     # -- EntitySink: tuple / catalog entity changes ----------------------------------------
 

@@ -448,6 +448,105 @@ class IndexNodeFree(RedoRecord):
 
 
 # ------------------------------------------------------------------------------
+# Command-logging barrier records
+# ------------------------------------------------------------------------------
+#
+# Command logging (docs/LOGGING.md) replaces a transaction's after-images
+# with one TxnCommand control record, but the *ordering* of that command
+# against the surrounding value-REDO stream must survive the bin sort.
+# Barrier records solve this: they are ordinary REDO records — they carry
+# a bin index, ride the transaction's SLB chain, and drain through the
+# normal bins in commit order — whose ``apply`` is a no-op.  Their only
+# job is to mark, inside every involved partition's record stream, the
+# exact point at which the command (or a settlement sweep's checkpoint
+# image) took effect, so the replay planner can interleave re-execution
+# with value REDO at the right LSN.
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class CommandBarrier(RedoRecord):
+    """Marks the commit point of command ``csn`` in one partition's stream.
+
+    Emitted at command commit into every partition of the transaction's
+    declared relations (and their indexes).  Replay applies the value
+    records before the barrier, re-executes the command's script, then
+    continues — ``apply`` itself changes nothing.
+    """
+
+    TAG: ClassVar[int] = 10
+
+    partition: PartitionAddress
+    csn: int
+
+    @property
+    def partition_address(self) -> PartitionAddress:
+        return self.partition
+
+    def apply(self, partition: Partition) -> None:
+        # Position-only marker: the command's effects come from
+        # re-executing its script, never from this record.
+        self._check_address(self.partition, partition)
+
+    def _payload(self) -> bytes:
+        return _PARTITION.pack(
+            self.partition.segment, self.partition.partition
+        ) + _U32.pack(self.csn)
+
+    @classmethod
+    def _decode(cls, txn_id: int, bin_index: int, buf: bytes, pos: int):
+        segment, part_no = _PARTITION.unpack_from(buf, pos)
+        pos += _PARTITION.size
+        (csn,) = _U32.unpack_from(buf, pos)
+        pos += _U32.size
+        return cls(txn_id, bin_index, PartitionAddress(segment, part_no), csn), pos
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class SweepMarker(RedoRecord):
+    """Marks a settlement sweep's image point in one partition's stream.
+
+    A group settlement checkpoint (the command-mode form of the paper's
+    action-consistent checkpoint) copies every partition of a declared
+    closure while holding their relation locks, then appends one marker
+    per copied partition to its own chain *before* releasing the locks
+    and committing.  Records ahead of the marker in a partition's stream
+    are therefore exactly the records reflected in the installed image —
+    replay cuts the stream there instead of re-applying a stale prefix
+    over state that command re-execution already produced.
+    """
+
+    TAG: ClassVar[int] = 11
+
+    partition: PartitionAddress
+    watermark: int
+
+    @property
+    def partition_address(self) -> PartitionAddress:
+        return self.partition
+
+    def apply(self, partition: Partition) -> None:
+        # Position-only marker, exactly like CommandBarrier.
+        self._check_address(self.partition, partition)
+
+    def _payload(self) -> bytes:
+        return _PARTITION.pack(
+            self.partition.segment, self.partition.partition
+        ) + _U32.pack(self.watermark)
+
+    @classmethod
+    def _decode(cls, txn_id: int, bin_index: int, buf: bytes, pos: int):
+        segment, part_no = _PARTITION.unpack_from(buf, pos)
+        pos += _PARTITION.size
+        (watermark,) = _U32.unpack_from(buf, pos)
+        pos += _U32.size
+        return cls(
+            txn_id, bin_index, PartitionAddress(segment, part_no), watermark
+        ), pos
+
+
+# ------------------------------------------------------------------------------
 # Decoding
 # ------------------------------------------------------------------------------
 
@@ -493,6 +592,7 @@ _CONTROL_REGISTRY: dict[int, type["ControlRecord"]] = {}
 #: never be mistaken for (or decoded as) a REDO record.
 PREPARE_TAG = 128
 DECISION_TAG = 129
+COMMAND_TAG = 130
 
 
 def _register_control(cls: type["ControlRecord"]) -> type["ControlRecord"]:
@@ -611,6 +711,55 @@ class TxnDecision(ControlRecord):
             pos += _U16.size
             participants.append(sid)
         return cls(txn_id, gtid, verdict, tuple(participants)), pos
+
+
+@_register_control
+@dataclass(frozen=True, slots=True)
+class TxnCommand(ControlRecord):
+    """A command-logged transaction: re-execute the script, don't patch bytes.
+
+    Carries everything replay needs — the registered script's name and
+    version (schema-drift fence), its JSON-encoded arguments, and the
+    declared relation list the replay planner partitions batches by.
+    ``csn`` is the command sequence number the SLB assigned at commit;
+    the matching :class:`CommandBarrier` records carry the same number.
+
+    Control record, so it never enters the bin-sort pipeline: it lives in
+    the SLB's stable command log until a settlement sweep's checkpoint
+    images cover its effects.
+    """
+
+    TAG: ClassVar[int] = COMMAND_TAG
+
+    csn: int
+    name: str
+    version: str
+    args: bytes
+    relations: tuple[str, ...]
+
+    def _payload(self) -> bytes:
+        body = _U32.pack(self.csn)
+        body += _encode_str(self.name) + _encode_str(self.version)
+        body += _encode_blob(self.args)
+        body += _U16.pack(len(self.relations))
+        for relation in self.relations:
+            body += _encode_str(relation)
+        return body
+
+    @classmethod
+    def _decode(cls, txn_id: int, buf: bytes, pos: int):
+        (csn,) = _U32.unpack_from(buf, pos)
+        pos += _U32.size
+        name, pos = _decode_str(buf, pos)
+        version, pos = _decode_str(buf, pos)
+        args, pos = _decode_blob(buf, pos)
+        (count,) = _U16.unpack_from(buf, pos)
+        pos += _U16.size
+        relations = []
+        for _ in range(count):
+            relation, pos = _decode_str(buf, pos)
+            relations.append(relation)
+        return cls(txn_id, csn, name, version, args, tuple(relations)), pos
 
 
 def decode_control(buf: bytes, pos: int = 0) -> tuple[ControlRecord, int]:

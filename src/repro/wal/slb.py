@@ -33,6 +33,12 @@ from repro.wal.records import RedoRecord
 #: Stable bytes reserved for the well-known communication areas.
 WELL_KNOWN_RESERVE = 64 * 1024
 
+#: Well-known key of the stable command log: encoded TxnCommand records
+#: keyed by command sequence number, plus the sequence counter itself.
+#: Lives beside the checkpoint queue and catalog locations — command
+#: records never enter the bin-sort pipeline (docs/LOGGING.md).
+COMMAND_LOG_KEY = "command-log"
+
 
 @dataclass
 class _LogBlock:
@@ -105,6 +111,11 @@ class StableLogBuffer:
         self.commits = 0
         self.aborts = 0
         self.prepares = 0
+        #: Per-logging-mode commit counts and stable log bytes, keyed by
+        #: the mode a transaction actually committed under ("value",
+        #: "command", "adaptive-value", "adaptive-command").
+        self.mode_commits: dict[str, int] = {}  # guarded-by: _mutex
+        self.mode_bytes: dict[str, int] = {}  # guarded-by: _mutex
 
     # -- transaction chains ------------------------------------------------------
 
@@ -175,6 +186,131 @@ class StableLogBuffer:
                 return
             self._free_chain(chain)
             self.aborts += 1
+
+    # -- command logging (docs/LOGGING.md) ----------------------------------------------
+
+    def _command_log(self) -> dict:  # caller-holds: _mutex
+        log = self._well_known.get(COMMAND_LOG_KEY)
+        if log is None:
+            log = {"seq": 0, "entries": {}}
+            self._well_known[COMMAND_LOG_KEY] = log
+        return log
+
+    @property
+    def command_seq(self) -> int:
+        """Highest command sequence number assigned so far (stable)."""
+        with self._mutex:
+            return self._command_log()["seq"]
+
+    def commit_command(self, txn_id: int, build) -> int:
+        """Commit a command-logged transaction atomically.
+
+        ``build(csn)`` returns ``(payload, barriers)`` — the encoded
+        :class:`~repro.wal.records.TxnCommand` for the freshly assigned
+        sequence number and the :class:`~repro.wal.records.CommandBarrier`
+        records to append to the chain.  Under one mutex hold: the csn is
+        assigned, the command record lands in the stable command log, the
+        barriers join the chain, and the chain moves to the committed
+        list — so the commit point is exactly the same stable-memory
+        transition value mode uses, just with a different record mix.
+
+        Raises :class:`StableMemoryFullError` with the chain intact (the
+        caller drains and retries) if the barriers need a block the SLB
+        cannot allocate.
+        """
+        with self._mutex:
+            chain = self._require_open(txn_id)
+            log = self._command_log()
+            csn = log["seq"] + 1
+            payload, barriers = build(csn)
+            appended = 0
+            try:
+                for record in barriers:
+                    if not chain.fits_in_current(record):
+                        self._allocate_block(chain)
+                    chain.append_to_current(record)
+                    appended += 1
+                    self.records_written += 1
+                    self.bytes_written += record.size_bytes
+            except StableMemoryFullError:
+                # Unwind the partial barrier append; the chain must look
+                # exactly as it did so the caller can drain and retry.
+                if appended:
+                    kept = list(chain.records())[:-appended]
+                    removed_bytes = sum(
+                        r.size_bytes for r in list(chain.records())[-appended:]
+                    )
+                    self._free_chain(chain)
+                    chain.blocks = []
+                    chain.record_count = 0
+                    for record in kept:
+                        if not chain.fits_in_current(record):
+                            self._allocate_block(chain)
+                        chain.append_to_current(record)
+                    self.records_written -= appended
+                    self.bytes_written -= removed_bytes
+                raise
+            log["seq"] = csn
+            log["entries"][csn] = bytes(payload)
+            self.bytes_written += len(payload)
+            del self._uncommitted[txn_id]
+            self._committed.append(chain)
+            self.commits += 1
+            return csn
+
+    def live_commands(self) -> list[tuple[int, bytes]]:
+        """``(csn, encoded TxnCommand)`` for every unsettled command."""
+        with self._mutex:
+            entries = self._command_log()["entries"]
+            return sorted(entries.items())
+
+    def discard_commands(self, csns) -> int:
+        """Drop settled commands (their effects are in checkpoint images)."""
+        with self._mutex:
+            entries = self._command_log()["entries"]
+            removed = 0
+            for csn in list(csns):
+                if entries.pop(csn, None) is not None:
+                    removed += 1
+            return removed
+
+    def filter_chain(self, txn_id: int, keep) -> int:
+        """Keep only the chain records for which ``keep(record)`` is true.
+
+        Adaptive-mode conversion: a transaction that executed with value
+        logging drops its after-images at commit (its effects will come
+        from command re-execution) but must keep its catalog records,
+        which are always value-logged.  Returns the number removed.
+        """
+        with self._mutex:
+            chain = self._require_open(txn_id)
+            records = list(chain.records())
+            kept = [record for record in records if keep(record)]
+            removed = len(records) - len(kept)
+            if removed == 0:
+                return 0
+            removed_bytes = sum(r.size_bytes for r in records if not keep(r))
+            self._free_chain(chain)
+            chain.blocks = []
+            chain.record_count = 0
+            for record in kept:
+                if not chain.fits_in_current(record):
+                    self._allocate_block(chain)
+                chain.append_to_current(record)
+            self.records_written -= removed
+            self.bytes_written -= removed_bytes
+            return removed
+
+    def note_mode_commit(self, mode: str, nbytes: int) -> None:
+        """Account one commit (and its stable log bytes) to a logging mode."""
+        with self._mutex:
+            self.mode_commits[mode] = self.mode_commits.get(mode, 0) + 1
+            self.mode_bytes[mode] = self.mode_bytes.get(mode, 0) + nbytes
+
+    def mode_stats(self) -> tuple[dict[str, int], dict[str, int]]:
+        """A consistent snapshot of the per-mode commit/byte counters."""
+        with self._mutex:
+            return dict(self.mode_commits), dict(self.mode_bytes)
 
     # -- two-phase commit (repro.shard) ------------------------------------------------
 
