@@ -1,0 +1,19 @@
+"""Uniform location for generated benchmark artifacts.
+
+Every benchmark that persists a JSON payload writes it under
+``benchmarks/results/`` (gitignored; CI uploads the files it needs as
+workflow artifacts).  Keeping one helper here stops the drift where some
+benchmarks wrote to the repository root and others to ad-hoc paths.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def results_path(name: str) -> Path:
+    """The artifact path for ``name``, with the results directory created."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR / name

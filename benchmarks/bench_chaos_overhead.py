@@ -18,12 +18,11 @@ Also measured (reported, not budgeted): the transient-fault hooks on the
 duplex I/O retry loops, and the *plan-dispatch* path — a
 :class:`~repro.sim.chaos.ChaosEngine` armed with rules for some other
 point, pricing what every unrelated hook passage pays while a plan is
-live.  Results land in ``BENCH_chaos_overhead.json`` for CI artifacts.
+live.  Results land in ``benchmarks/results/BENCH_chaos_overhead.json`` for CI artifacts.
 """
 
 import json
 import time
-from pathlib import Path
 
 from repro import Database, SystemConfig
 from repro.common.checksum import open_frame, seal_frame
@@ -43,7 +42,9 @@ from repro.workloads.debit_credit import DebitCreditWorkload
 OVERHEAD_BUDGET = 0.05
 TRANSACTIONS = 400
 
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_chaos_overhead.json"
+from _results import results_path
+
+RESULTS_PATH = results_path("BENCH_chaos_overhead.json")
 
 
 def _config():

@@ -19,14 +19,13 @@ one registered script each):
    (simulated device time bridged to host time via ``realtime_scale``,
    exactly as in ``bench_parallel_recovery``).
 
-Results land in ``BENCH_logging_modes.json`` for CI artifacts.
+Results land in ``benchmarks/results/BENCH_logging_modes.json`` for CI artifacts.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from pathlib import Path
 
 from repro import Database, RecoveryMode, SystemConfig
 from repro.engine import ThreadedEngine
@@ -42,7 +41,9 @@ ROWS_TOUCHED_PER_TXN = 6
 #: Host seconds slept per simulated device second during timed restarts.
 REALTIME_SCALE = 0.25
 
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_logging_modes.json"
+from _results import results_path
+
+RESULTS_PATH = results_path("BENCH_logging_modes.json")
 
 
 def _config(mode: str) -> SystemConfig:

@@ -18,14 +18,13 @@ single-pass scan is sequential by design.
 Acceptance: ≥2x wall-clock speedup at 4 workers vs 1 worker, and the
 scan reads each retained log page exactly once (pages_scanned equals the
 page count, NOT partitions × pages as the old per-partition rescan did).
-Results are written to ``BENCH_media_recovery.json`` for CI artifacts.
+Results are written to ``benchmarks/results/BENCH_media_recovery.json`` for CI artifacts.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from pathlib import Path
 
 from repro import Database, SystemConfig
 from repro.engine import ThreadedEngine
@@ -38,7 +37,9 @@ REALTIME_SCALE = 8.0
 #: Data partitions rebuilt (catalog partitions excluded).
 TARGET_PARTITIONS = 64
 
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_media_recovery.json"
+from _results import results_path
+
+RESULTS_PATH = results_path("BENCH_media_recovery.json")
 
 
 def _config() -> SystemConfig:

@@ -15,14 +15,13 @@ sleeps taken outside the block mutexes), so overlapped reads genuinely
 overlap — the knob the cooperative engine cannot turn.
 
 Acceptance: ≥2x wall-clock speedup at 4 workers vs 1 worker.  Results
-are also written to ``BENCH_parallel_recovery.json`` for CI artifacts.
+are also written to ``benchmarks/results/BENCH_parallel_recovery.json`` for CI artifacts.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from pathlib import Path
 
 from repro import Database, RecoveryMode, SystemConfig
 from repro.engine import ThreadedEngine
@@ -34,7 +33,9 @@ REALTIME_SCALE = 0.35
 #: Phase-2 restore targets (data + index partitions, catalogs excluded).
 TARGET_PARTITIONS = 64
 
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel_recovery.json"
+from _results import results_path
+
+RESULTS_PATH = results_path("BENCH_parallel_recovery.json")
 
 
 def _config() -> SystemConfig:

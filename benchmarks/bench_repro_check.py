@@ -9,7 +9,7 @@ stay cheap enough that nobody is tempted to skip the hook.
 Shape requirement: one full run over ``src/`` **and** ``tools/`` with
 all ten rules completes in under :data:`TIME_BUDGET_SECONDS` wall-clock
 seconds, and the tree is clean (the acceptance criterion the CI job
-enforces).  Per-rule timings land in ``BENCH_repro_check.json`` so a
+enforces).  Per-rule timings land in ``benchmarks/results/BENCH_repro_check.json`` so a
 rule that regresses is identifiable from the CI artifact alone.
 """
 
@@ -19,10 +19,12 @@ from pathlib import Path
 
 from tools.repro_check.engine import run
 
+from _results import results_path
+
 TIME_BUDGET_SECONDS = 10.0
 
 REPO = Path(__file__).resolve().parent.parent
-RESULTS_PATH = REPO / "BENCH_repro_check.json"
+RESULTS_PATH = results_path("BENCH_repro_check.json")
 
 
 def bench_repro_check(benchmark, report):

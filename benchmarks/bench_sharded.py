@@ -14,7 +14,7 @@ increasing cross-shard ratios, where each cross transfer pays two
 prepares and a decision instead of one instant commit.
 
 Acceptance: ≥2x committed-txn/sec at 4 shards vs 1 shard at
-``cross_ratio=0``.  Results land in ``BENCH_sharded.json`` (gitignored)
+``cross_ratio=0``.  Results land in ``benchmarks/results/BENCH_sharded.json`` (gitignored)
 for CI artifacts.
 """
 
@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import json
 import time
-from pathlib import Path
 
 from repro import SystemConfig
 from repro.shard import ShardedDatabase, ShardedScheduler
@@ -39,7 +38,9 @@ REALTIME_SCALE = 300.0
 SCRIPTS = 64
 ACCOUNTS_PER_SHARD = 32
 
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_sharded.json"
+from _results import results_path
+
+RESULTS_PATH = results_path("BENCH_sharded.json")
 
 
 def measure(shards: int, cross_ratio: float, seed: int = 7) -> dict:

@@ -18,14 +18,13 @@ cooperative scheduler cannot turn.
 
 Acceptance: ≥2x committed-txn/sec at 4 workers vs 1 worker on the
 low-contention workload.  Results are also written to
-``BENCH_txn_throughput.json`` for CI artifacts.
+``benchmarks/results/BENCH_txn_throughput.json`` for CI artifacts.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from pathlib import Path
 
 from repro import Database, SystemConfig
 from repro.engine import ThreadedEngine
@@ -40,7 +39,9 @@ SCRIPTS = 48
 #: Accounts (low contention uses a disjoint pair per script).
 ACCOUNTS = 2 * SCRIPTS
 
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_txn_throughput.json"
+from _results import results_path
+
+RESULTS_PATH = results_path("BENCH_txn_throughput.json")
 
 
 def build(workers: int) -> tuple[Database, object]:

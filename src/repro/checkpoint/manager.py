@@ -76,28 +76,37 @@ class CheckpointManager:
         self.checkpoints_deferred = 0
         self.sweeps_taken = 0
         self.commands_settled = 0
+        #: Checkpoints satisfied by installing a condensed shadow image
+        #: instead of copying the partition (docs/CONDENSING.md).  A flip
+        #: also counts in ``checkpoints_taken``.
+        self.flips_taken = 0
 
     def process_pending(self, limit: int | None = None) -> int:
         """Run checkpoint transactions for queued requests.
 
         Returns the number completed.  Requests whose relation lock is
         unavailable or whose partition is not yet memory-resident are left
-        queued for a later pass.
+        queued for a later pass.  The condenser pauses for the duration so
+        a flip decision races at most the one slice already in flight.
         """
         done = 0
-        for request in self.db.checkpoint_queue.pending():
-            if limit is not None and done >= limit:
-                break
-            if request.state is not RequestState.REQUEST:
-                # An earlier sweep in this pass already checkpointed this
-                # partition and flipped its entry to FINISHED.
-                continue
-            closure, commands = self._command_closure_for(request)
-            if commands:
-                if self._run_group(request, closure, commands):
+        self.db.condenser.pause()
+        try:
+            for request in self.db.checkpoint_queue.pending():
+                if limit is not None and done >= limit:
+                    break
+                if request.state is not RequestState.REQUEST:
+                    # An earlier sweep in this pass already checkpointed this
+                    # partition and flipped its entry to FINISHED.
+                    continue
+                closure, commands = self._command_closure_for(request)
+                if commands:
+                    if self._run_group(request, closure, commands):
+                        done += 1
+                elif self._run_one(request):
                     done += 1
-            elif self._run_one(request):
-                done += 1
+        finally:
+            self.db.condenser.resume()
         return done
 
     def _command_closure_for(
@@ -120,8 +129,91 @@ class CheckpointManager:
         relations, batch = relation_closure(commands, relation.name)
         return sorted(relations), batch
 
+    def _flip_lsn_for(self, request: CheckpointRequest) -> int | None:
+        """The watermark to flip at, or ``None`` if a copy is needed.
+
+        A request can be satisfied by installing the bin's condensed
+        shadow image as the catalog image — no lock, no copy — exactly
+        when the chain is *current* (grew from the catalog slot) and
+        *complete* (every flushed page folded in): the shadow then equals
+        what step 4 would have copied, minus the still-buffered records
+        the bin keeps anyway (docs/CONDENSING.md).  ``shadow != catalog``
+        rules out re-flipping an already-installed image, which would
+        never relieve the trigger.
+        """
+        db = self.db
+        if not db.config.condense_enabled:
+            return None
+        segment_id = request.partition.segment
+        if segment_id == db.catalog.segment.segment_id:
+            return None
+        try:
+            descriptor = db.catalog.descriptor_for_segment(segment_id)
+        except CatalogError:
+            return None
+        info = descriptor.partitions.get(request.partition.partition)
+        if info is None:
+            return None
+        catalog_slot = info.checkpoint_slot
+        bin_ = db.slt.bin(request.bin_index)
+        with bin_.mutex:
+            if (
+                bin_.condensed_slot is not None
+                and bin_.condensed_slot != catalog_slot
+                and bin_.condensed_base_slot == catalog_slot
+                and bin_.directory
+                and bin_.condensed_lsn >= bin_.directory[-1]
+            ):
+                return bin_.condensed_lsn
+        return None
+
+    def _run_flip(self, request: CheckpointRequest, flip_lsn: int) -> bool:
+        """Satisfy a checkpoint by installing the condensed shadow image.
+
+        The shadow is already durable and transaction-consistent (only
+        committed records reach flushed pages), so the whole procedure is
+        the catalog update of step 5 inside a system transaction — steps
+        3, 4, and 6a vanish.  The acknowledgement then resets the bin
+        relative to ``flip_lsn`` instead of clearing it.
+        """
+        db = self.db
+        crash_point("checkpoint.begin")
+        request.state = RequestState.IN_PROGRESS
+        txn = db.transactions.begin(system=True)
+        try:
+            bin_ = db.slt.bin(request.bin_index)
+            with bin_.mutex:
+                shadow = bin_.condensed_slot
+            if shadow is None:  # chain vanished since the decision
+                raise TransactionAborted("condense chain gone", txn_id=txn.txn_id)
+            request.previous_slot = self._install_slot(request, shadow, txn)
+            crash_point("checkpoint.slot-installed")
+            txn.commit()
+            crash_point("checkpoint.committed")
+        except (TransactionAborted, NotResidentError):
+            if txn.state.value == "active":
+                txn.abort()
+            request.state = RequestState.REQUEST
+            request.previous_slot = None
+            self.checkpoints_deferred += 1
+            return False
+        if request.previous_slot == shadow:
+            # The catalog already pointed at the shadow (re-run after a
+            # crash between commit and FINISHED): freeing it would free
+            # the live image.
+            request.previous_slot = None
+        request.flip = True
+        request.flip_lsn = flip_lsn
+        request.state = RequestState.FINISHED
+        self.checkpoints_taken += 1
+        self.flips_taken += 1
+        return True
+
     def _run_one(self, request: CheckpointRequest) -> bool:
         db = self.db
+        flip_lsn = self._flip_lsn_for(request)
+        if flip_lsn is not None:
+            return self._run_flip(request, flip_lsn)
         crash_point("checkpoint.begin")
         request.state = RequestState.IN_PROGRESS
         txn = db.transactions.begin(system=True)
@@ -354,4 +446,10 @@ class CheckpointManager:
         for slot in self.db.catalog.own_partition_slots.values():
             if slot is not None:
                 occupied.add(slot)
+        # Published shadow images (docs/CONDENSING.md) are referenced from
+        # the stable bins rather than the catalog; the map rebuild must
+        # not hand their slots out again.
+        for bin_ in self.db.slt.bins():
+            if bin_.condensed_slot is not None:
+                occupied.add(bin_.condensed_slot)
         return occupied

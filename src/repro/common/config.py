@@ -188,6 +188,23 @@ class SystemConfig:
     #: when its after-image chain reaches this many bytes; below it the
     #: value chain is cheaper than a command record plus barriers.
     adaptive_log_threshold: int = 256
+    #: Run the background condenser (docs/CONDENSING.md): the recovery
+    #: CPU, when idle, folds flushed log pages into shadow checkpoint
+    #: images so restart replays only the short uncondensed suffix.  Off
+    #: by default; the ``REPRO_CONDENSE`` environment variable turns it
+    #: on for configs that do not pass the flag explicitly (a CI matrix
+    #: axis, mirroring ``REPRO_LOGGING_MODE``).
+    condense_enabled: bool = field(
+        default_factory=lambda: os.environ.get("REPRO_CONDENSE", "") == "1"
+    )
+    #: Upper bound on log pages folded per condense slice — one slice is
+    #: one unit of idle-time work, so this caps how long the recovery
+    #: CPU stays busy before checking for real duties again.
+    condense_pages_per_slice: int = 4
+    #: A partition becomes a condense candidate once it has more than
+    #: this many flushed-but-uncondensed log pages.  0 means "condense
+    #: whenever anything is uncondensed".
+    condense_lag_target_pages: int = 0
     #: Disk model used for the log disks.
     log_disk: DiskParameters = field(default_factory=DiskParameters)
     #: Disk model used for the checkpoint disks.
@@ -224,6 +241,12 @@ class SystemConfig:
             )
         if self.adaptive_log_threshold <= 0:
             raise ConfigurationError("adaptive_log_threshold must be positive")
+        if self.condense_pages_per_slice <= 0:
+            raise ConfigurationError("condense_pages_per_slice must be positive")
+        if self.condense_lag_target_pages < 0:
+            raise ConfigurationError(
+                "condense_lag_target_pages cannot be negative"
+            )
 
     @property
     def records_per_page(self) -> int:

@@ -62,6 +62,7 @@ from repro.engine import ExecutionEngine, engine_from_env
 from repro.index.linear_hash import LinearHashIndex
 from repro.index.node_store import NodeStore
 from repro.index.ttree import TTreeIndex
+from repro.recovery.condenser import Condenser
 from repro.recovery.processor import RecoveryProcessor
 from repro.recovery.restart import RestartCoordinator
 from repro.sim.clock import VirtualClock
@@ -206,6 +207,7 @@ class Database:
         self.audit = AuditLog(self.slb_memory, self.log_disk, config.log_page_size)
         self.transactions = TransactionManager(self)
         self.checkpoints = CheckpointManager(self)
+        self.condenser = Condenser(self)
 
     # -- transaction plumbing (called by Transaction) ----------------------------------
 
@@ -472,6 +474,13 @@ class Database:
         for number, info in sorted(descriptor.partitions.items()):
             address = PartitionAddress(descriptor.segment_id, number)
             if self.slt.has_partition(address):
+                # A condense chain's shadow slot is referenced only by the
+                # bin; free it before the bin disappears with the drop.
+                stale = self.slt.clear_condense_state(
+                    self.slt.bin_index_of(address)
+                )
+                if stale is not None:
+                    self.checkpoint_disk.free(stale)
                 self.slt.drop_partition(address)
             if info.checkpoint_slot is not None:
                 self.checkpoint_disk.free(info.checkpoint_slot)
@@ -628,6 +637,7 @@ class Database:
             "slt_records_binned": self.slt.records_binned,
             "log_pages_written": self.log_disk.pages_written,
             "checkpoints_taken": self.checkpoints.checkpoints_taken,
+            "condenser": self.condenser.stats_snapshot(),
             "recovery_cpu_instructions": self.recovery_cpu.total_instructions,
             "resident_partitions": self.memory.resident_partition_count(),
             "log_page_cache_hits": self.log_disk.cache_hits,

@@ -35,13 +35,15 @@ class Monitor:
         system is up, crashed, or mid-restart.
         """
         db = self.db
-        # Mode counters live behind the SLB mutex; fetch them before the
-        # view lock so the snapshot never nests the two.
+        # Mode counters live behind the SLB mutex, condenser figures
+        # behind the bin mutexes; fetch both before the view lock so the
+        # snapshot never nests them under it.
         modes = db.logging_stats()
+        condenser = db.condenser.stats_snapshot()
         with db.view_lock:
-            return self._snapshot_locked(modes)
+            return self._snapshot_locked(modes, condenser)
 
-    def _snapshot_locked(self, modes: dict) -> dict:
+    def _snapshot_locked(self, modes: dict, condenser: dict) -> dict:
         db = self.db
         return {
             "engine": db.engine.name,
@@ -85,6 +87,7 @@ class Monitor:
                 "queue_depth": len(db.checkpoint_queue),
                 "disk_slots_used": db.checkpoint_disk.occupied_count,
             },
+            "condenser": condenser,
             "cpu": {
                 "main_instructions": db.main_cpu.total_instructions,
                 "recovery_instructions": db.recovery_cpu.total_instructions,
@@ -202,6 +205,17 @@ class Monitor:
             f"  queue depth       {snap['checkpoints']['queue_depth']}",
             f"  disk slots used   {snap['checkpoints']['disk_slots_used']} / "
             f"{db.checkpoint_disk.slots}",
+        ]
+        condenser = snap["condenser"]
+        if condenser["enabled"]:
+            lines.append(
+                f"--- condenser        {condenser['pages_condensed']} pages in "
+                f"{condenser['slices']} slices, {condenser['publishes']} "
+                f"publishes, {condenser['flips_taken']} flips, "
+                f"{condenser['log_pages_reclaimed']} log pages reclaimed, "
+                f"lag {condenser['max_lag_pages']}"
+            )
+        lines += [
             "--- processors",
             f"  main CPU          {snap['cpu']['main_instructions']:,.0f} instructions",
             f"  recovery CPU      {snap['cpu']['recovery_instructions']:,.0f} "

@@ -48,6 +48,12 @@ class RecoveryService:
         if self.db.restart_coordinator is not None:
             self.db.restart_coordinator.background_step()
 
+    def condense_step(self) -> int:
+        """One background condense slice (docs/CONDENSING.md) — the
+        recovery CPU's lowest-priority duty, run after everything else in
+        a pump.  No-op unless ``condense_enabled``."""
+        return self.db.condenser.step()
+
     def resolve_in_doubt(self) -> dict[str, int]:
         """Settle every prepared (in-doubt) SLB chain before phase 1.
 

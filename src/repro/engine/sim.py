@@ -29,6 +29,7 @@ class SimEngine(ExecutionEngine):
         db.checkpoint_service.process_pending()
         db.checkpoint_service.acknowledge()
         db.recovery_service.background_step()
+        db.recovery_service.condense_step()
 
     def restore_partitions(self, addresses: list[PartitionAddress]) -> int:
         return self._restore_sequential(addresses)

@@ -166,6 +166,7 @@ class ThreadedEngine(ExecutionEngine):
                 db.checkpoint_service.process_pending()
                 db.checkpoint_service.acknowledge()
                 db.recovery_service.background_step()
+                db.recovery_service.condense_step()
 
             self._recovery.run_job(batched)
             return
@@ -177,6 +178,7 @@ class ThreadedEngine(ExecutionEngine):
         db.checkpoint_service.process_pending()
         self._recovery.run_job(db.checkpoint_service.acknowledge)
         db.recovery_service.background_step()
+        self._recovery.run_job(db.recovery_service.condense_step)
 
     # -- restart phase 2 ------------------------------------------------------
 

@@ -192,13 +192,28 @@ class RecoveryProcessor:
         """
         acknowledged = 0
         for request in self.checkpoint_queue.finished():
-            leftovers = self.slt.reset_after_checkpoint(request.bin_index)
-            with self._archive_mutex:
-                for record in leftovers:
-                    self._archive_buffer.append(record)
-                    self._archive_bytes += record.size_bytes
-                    self.cpu.charge_stable_bytes(record.size_bytes, "archive-copy")
-                self._maybe_flush_archive()
+            if request.flip:
+                # Pointer-flip checkpoint (docs/CONDENSING.md): the shadow
+                # image *is* the new catalog image and already contains
+                # every record at or below flip_lsn, so nothing is flushed
+                # to the archive — the bin just forgets the covered prefix.
+                self.slt.reset_after_flip(request.bin_index, request.flip_lsn)
+            else:
+                # A copy checkpoint supersedes any condense chain: the new
+                # image was copied from memory, so the shadow is stale and
+                # its slot is freed along with the previous catalog slot.
+                stale = self.slt.clear_condense_state(request.bin_index)
+                leftovers = self.slt.reset_after_checkpoint(request.bin_index)
+                with self._archive_mutex:
+                    for record in leftovers:
+                        self._archive_buffer.append(record)
+                        self._archive_bytes += record.size_bytes
+                        self.cpu.charge_stable_bytes(
+                            record.size_bytes, "archive-copy"
+                        )
+                    self._maybe_flush_archive()
+                if stale is not None:
+                    self._free_slot(stale)
             if request.previous_slot is not None:
                 self._free_slot(request.previous_slot)
             self.checkpoint_queue.remove(request)

@@ -34,14 +34,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 def enumerate_log_pages(
-    bin_: PartitionBin, log_disk: LogDisk
+    bin_: PartitionBin, log_disk: LogDisk, condensed_lsn: int = NULL_LSN
 ) -> tuple[list[int], dict[int, LogPage], int]:
-    """Full write-order list of a partition's log page LSNs.
+    """Write-order list of a partition's log page LSNs past ``condensed_lsn``.
 
     Returns ``(lsns, cache, backward_reads)``: the pages already fetched
     during the backward directory walk are cached so the forward pass does
     not reread them, and ``backward_reads`` reports how many reads the walk
     needed (the paper's ``#pages / N`` claim, measured by the benchmarks).
+
+    With the default ``condensed_lsn`` of :data:`NULL_LSN` the full
+    history is returned.  A real watermark (docs/CONDENSING.md) both
+    *stops the backward walk early* — page LSNs are monotone across
+    directory groups, so once a group starts at or below the watermark no
+    older group can matter — and filters the result, which is how a
+    condensed restart avoids touching the folded prefix at all.
     """
     if not bin_.directory:
         return [], {}, 0
@@ -50,7 +57,7 @@ def enumerate_log_pages(
     backward_reads = 0
     while True:
         first_lsn = groups[0][0]
-        if first_lsn == bin_.first_page_lsn:
+        if first_lsn == bin_.first_page_lsn or first_lsn <= condensed_lsn:
             break
         page = log_disk.read_page(first_lsn, expected=bin_.partition)
         cache[first_lsn] = page
@@ -61,7 +68,9 @@ def enumerate_log_pages(
                 f"previous directory group but does not"
             )
         groups.insert(0, list(page.embedded_directory))
-    lsns = [lsn for group in groups for lsn in group]
+    lsns = [
+        lsn for group in groups for lsn in group if lsn > condensed_lsn
+    ]
     return lsns, cache, backward_reads
 
 
@@ -93,14 +102,18 @@ def partition_record_stream(
     address: PartitionAddress,
     log_disk: LogDisk,
     slt: StableLogTail,
+    condensed_lsn: int = NULL_LSN,
 ) -> tuple[list[RedoRecord], dict]:
-    """The partition's full REDO stream in original write order.
+    """The partition's REDO stream past ``condensed_lsn``, in write order.
 
     Flushed log pages (directory walk, forward read) followed by the
     records still buffered in the partition's SLT bin.  Shared by
     :func:`rebuild_partition` and the command replay planner, which needs
     the records as a *list* so it can interleave command re-execution at
-    the barrier records instead of applying straight through.
+    the barrier records instead of applying straight through.  The
+    default watermark of :data:`NULL_LSN` yields the full stream; a
+    condensed restart passes the shadow image's watermark so only the
+    uncondensed suffix is read (docs/CONDENSING.md).
     """
     if not slt.has_partition(address):
         raise RecoveryError(f"{address} has no Stable Log Tail bin")
@@ -108,7 +121,9 @@ def partition_record_stream(
     records: list[RedoRecord] = []
     stats = {"pages_read": 0, "backward_reads": 0}
     if bin_.first_page_lsn != NULL_LSN:
-        lsns, cache, backward_reads = enumerate_log_pages(bin_, log_disk)
+        lsns, cache, backward_reads = enumerate_log_pages(
+            bin_, log_disk, condensed_lsn
+        )
         stats["backward_reads"] = backward_reads
         for lsn in lsns:
             page = cache.get(lsn)
@@ -142,20 +157,51 @@ def rebuild_partition(
     discarded (see :func:`cut_settled_prefix`) because those records are
     already inside the image being loaded.
 
+    When the partition's bin carries a *valid* condense chain
+    (docs/CONDENSING.md) the shadow image is preferred: it is newer than
+    the regular image, so only the short uncondensed suffix needs
+    replaying — the flat-restart property.  Validity means the chain grew
+    from the catalog slot being recovered (``condensed_base_slot ==
+    checkpoint_slot``) or *is* that slot (a flip published it).  A torn
+    or unreadable shadow falls back to the regular image with the full
+    stream; chains invalidated by a later copy checkpoint are ignored.
+
     Returns the partition plus a statistics dict (pages read, backward
     reads, records applied) consumed by the recovery benchmarks.
     """
-    if checkpoint_slot is not None:
-        image = disk_queue.read_image(checkpoint_slot)
-        partition = Partition.from_bytes(image, address, heap_fraction)
-    else:
-        # Never checkpointed: the log replays against an empty partition.
-        partition = Partition(address, partition_size, heap_fraction)
-    records, stats = partition_record_stream(address, log_disk, slt)
+    condensed_lsn = NULL_LSN
+    partition: Partition | None = None
+    if slt.has_partition(address):
+        bin_ = slt.bin_for_partition(address)
+        with bin_.mutex:
+            shadow = bin_.condensed_slot
+            base = bin_.condensed_base_slot
+            shadow_lsn = bin_.condensed_lsn
+        if shadow is not None and (
+            base == checkpoint_slot or shadow == checkpoint_slot
+        ):
+            try:
+                image = disk_queue.read_image(shadow)
+            except (TornWriteError, ChecksumError, StorageError, MediaFailure):
+                pass  # torn shadow: the regular path below still works
+            else:
+                partition = Partition.from_bytes(image, address, heap_fraction)
+                condensed_lsn = shadow_lsn
+    if partition is None:
+        if checkpoint_slot is not None:
+            image = disk_queue.read_image(checkpoint_slot)
+            partition = Partition.from_bytes(image, address, heap_fraction)
+        else:
+            # Never checkpointed: the log replays against an empty partition.
+            partition = Partition(address, partition_size, heap_fraction)
+    records, stats = partition_record_stream(
+        address, log_disk, slt, condensed_lsn
+    )
     records = cut_settled_prefix(records, command_watermark)
     for record in records:
         record.apply(partition)
     stats["records_applied"] = len(records)
+    stats["condensed_suffix"] = condensed_lsn != NULL_LSN
     partition.bin_index = slt.bin_for_partition(address).bin_index
     return partition, stats
 

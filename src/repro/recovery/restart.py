@@ -64,6 +64,9 @@ class RestartCoordinator:
         #: Simulated seconds from restart to transaction-processing-ready.
         self.catalog_restore_seconds: float | None = None
         self.torn_images_survived = 0
+        #: Partitions restored from a condensed shadow image, replaying
+        #: only the uncondensed suffix (docs/CONDENSING.md).
+        self.condensed_restores = 0
         self._background_queue: list[PartitionAddress] = []
         #: Guards the background work queue — phase-2 restore workers pull
         #: from it concurrently under the threaded engine.
@@ -270,5 +273,7 @@ class RestartCoordinator:
             self.records_replayed += stats["records_applied"]
             self.pages_read += stats["pages_read"] + stats["backward_reads"]
             self.backward_reads += stats["backward_reads"]
+            if stats.get("condensed_suffix"):
+                self.condensed_restores += 1
             if used_fallback:
                 self.torn_images_survived += 1

@@ -102,6 +102,10 @@ class RoundSpec:
     #: (whole-cluster crash, per-shard bank invariants) instead of a
     #: single node.
     shards: int = 1
+    #: Run the round with background condensing enabled, so the condense
+    #: crash points and the shadow-image restart path sit in the blast
+    #: radius (docs/CONDENSING.md).
+    condense: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -121,6 +125,8 @@ class RoundSpec:
         )
         if self.shards > 1:
             command += f" --shards {self.shards}"
+        if self.condense:
+            command += " --condense"
         return command
 
 
@@ -145,6 +151,7 @@ class RoundResult:
     digest: str
     host_seconds: float
     shards: int = 1
+    condense: bool = False
 
     def to_json(self) -> dict:
         return dict(self.__dict__)
@@ -256,7 +263,10 @@ class TortureHarness:
         engine = (
             SimEngine() if spec.engine == "sim" else ThreadedEngine(spec.workers)
         )
-        db = Database(SystemConfig(**ROUND_CONFIG), engine=engine)
+        db = Database(
+            SystemConfig(**ROUND_CONFIG, condense_enabled=spec.condense),
+            engine=engine,
+        )
         try:
             workload = DebitCreditWorkload(
                 db,
@@ -325,6 +335,7 @@ class TortureHarness:
             verified_by="invariants" if verifier is None else "digest",
             digest=digest,
             host_seconds=0.0,
+            condense=spec.condense,
         )
 
     def _run_sharded_round_inner(self, spec: RoundSpec) -> RoundResult:
@@ -337,7 +348,7 @@ class TortureHarness:
         rng = random.Random(spec.seed)
         cluster = ShardedDatabase(
             shards=spec.shards,
-            config=SystemConfig(**ROUND_CONFIG),
+            config=SystemConfig(**ROUND_CONFIG, condense_enabled=spec.condense),
             engine=spec.engine,
             workers=spec.workers,
         )
@@ -412,6 +423,7 @@ class TortureHarness:
             digest=digest,
             host_seconds=0.0,
             shards=spec.shards,
+            condense=spec.condense,
         )
 
     # -- phases ---------------------------------------------------------------
@@ -588,6 +600,7 @@ class TortureHarness:
         engine: str = "threaded",
         workers: int = 4,
         shards: int = 1,
+        condense: bool = False,
         on_result=None,
     ) -> list[RoundResult]:
         """Run every (seed, kind) combination; the first failure raises
@@ -596,7 +609,7 @@ class TortureHarness:
         for seed in seeds:
             for kind in kinds:
                 result = self.run_round(
-                    RoundSpec(seed, kind, engine, workers, shards)
+                    RoundSpec(seed, kind, engine, workers, shards, condense)
                 )
                 if on_result is not None:
                     on_result(result)
@@ -626,6 +639,13 @@ def main(argv: list[str] | None = None) -> int:
         help="run each round against a cluster of this many shard nodes",
     )
     parser.add_argument(
+        "--condense",
+        action="store_true",
+        help="enable background condensing for every round, putting the "
+        "condense crash points and the shadow-image restart path in play "
+        "(docs/CONDENSING.md)",
+    )
+    parser.add_argument(
         "--log", default=None, help="append one JSON line per round here"
     )
     args = parser.parse_args(argv)
@@ -639,6 +659,8 @@ def main(argv: list[str] | None = None) -> int:
             log_file.write(json.dumps(line) + "\n")
             log_file.flush()
         topology = "" if result.shards == 1 else f" shards={result.shards}"
+        if result.condense:
+            topology += " condense"
         print(
             f"round seed={result.seed} kind={result.kind} "
             f"engine={result.engine}{topology} ok: {result.committed} commits, "
@@ -654,6 +676,7 @@ def main(argv: list[str] | None = None) -> int:
             engine=args.engine,
             workers=args.workers,
             shards=args.shards,
+            condense=args.condense,
             on_result=report,
         )
     except TortureFailure as failure:
